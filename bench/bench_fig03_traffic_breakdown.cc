@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Reproduces paper Fig. 3: the memory-traffic overhead of the
+ * traditional (BP) protection scheme, broken down into MAC accesses
+ * and VN accesses (VN lines + integrity tree), for every benchmark:
+ * six DNN inference workloads, five DNN training workloads, and
+ * PageRank/BFS over six graphs.
+ *
+ * Expected shape: every bar between ~23% and ~55%; training above
+ * inference; VN overhead (incl. tree) comparable to or above MAC
+ * overhead; DLRM the worst case.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "graph/graph_gen.h"
+#include "graph/graph_kernel.h"
+
+namespace mgx {
+namespace {
+
+using protection::Scheme;
+
+struct Breakdown
+{
+    double mac = 0, vn = 0, total = 0;
+};
+
+Breakdown
+breakdownOf(const sim::RunResult &bp)
+{
+    const auto &t = bp.traffic;
+    const double data = static_cast<double>(t.dataBytes);
+    Breakdown b;
+    b.mac = 100.0 * static_cast<double>(t.macBytes) / data;
+    b.vn = 100.0 * static_cast<double>(t.vnBytes + t.treeBytes) / data;
+    b.total = b.mac + b.vn +
+              100.0 * static_cast<double>(t.expandBytes) / data;
+    return b;
+}
+
+Breakdown
+dnnBreakdown(const std::string &model, dnn::DnnTask task)
+{
+    auto cmp = bench::runDnnWorkload(model, task, /*edge=*/false,
+                                     {Scheme::BP});
+    return breakdownOf(cmp.results[Scheme::BP]);
+}
+
+Breakdown
+graphBreakdown(const graph::GraphSpec &spec, graph::GraphAlgorithm alg)
+{
+    graph::GraphTiles tiles = graph::buildTiles(spec, 512 << 10,
+                                                512 << 10, 11);
+    graph::GraphKernel kernel(tiles, alg, alg ==
+                              graph::GraphAlgorithm::PageRank ? 3 : 4);
+    core::Trace trace = kernel.generate();
+    protection::ProtectionConfig base;
+    auto cmp = sim::compareSchemes(trace, sim::graphPlatform(), base,
+                                   {Scheme::BP});
+    return breakdownOf(cmp.results[Scheme::BP]);
+}
+
+void
+row(const std::string &name, const Breakdown &b, double &sum, int &n)
+{
+    std::printf("%-22s %8.1f %8.1f %8.1f\n", name.c_str(), b.mac, b.vn,
+                b.total);
+    sum += b.total;
+    ++n;
+}
+
+} // namespace
+} // namespace mgx
+
+int
+main()
+{
+    using namespace mgx;
+    std::printf("Figure 3: memory traffic overhead of traditional "
+                "protection (%% of data traffic)\n");
+    std::printf("%-22s %8s %8s %8s\n", "workload", "MAC", "VN", "total");
+
+    double sum_inf = 0, sum_train = 0, sum_pr = 0, sum_bfs = 0;
+    int n_inf = 0, n_train = 0, n_pr = 0, n_bfs = 0;
+
+    for (const auto &m : bench::inferenceModels())
+        row(m + "-Inf", dnnBreakdown(m, dnn::DnnTask::Inference),
+            sum_inf, n_inf);
+    for (const auto &m : bench::trainingModels())
+        row(m + "-Train", dnnBreakdown(m, dnn::DnnTask::Training),
+            sum_train, n_train);
+    for (const auto &g : graph::paperGraphs())
+        row("PR-" + g.name,
+            graphBreakdown(g, graph::GraphAlgorithm::PageRank), sum_pr,
+            n_pr);
+    for (const auto &g : graph::paperGraphs())
+        row("BFS-" + g.name,
+            graphBreakdown(g, graph::GraphAlgorithm::BFS), sum_bfs,
+            n_bfs);
+
+    std::printf("\naverages (paper: Inf 36.1%%, Train 40.4%%, "
+                "PR 26.3%%, BFS 25.6%%):\n");
+    std::printf("  DNN inference: %.1f%%\n", sum_inf / n_inf);
+    std::printf("  DNN training:  %.1f%%\n", sum_train / n_train);
+    std::printf("  PageRank:      %.1f%%\n", sum_pr / n_pr);
+    std::printf("  BFS:           %.1f%%\n", sum_bfs / n_bfs);
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Reproduces paper Fig. 12: memory-traffic increase of DNN inference
+ * (a) and training (b) under MGX and BP on the Cloud and Edge
+ * configurations, normalized to no protection.
+ *
+ * Expected shape: BP ~1.3-1.55x (DLRM worst), MGX ~1.02-1.04x;
+ * training above inference for BP.
+ */
+
+#include "bench_util.h"
+
+namespace mgx {
+namespace {
+
+using protection::Scheme;
+
+void
+runSection(const char *title, const std::vector<std::string> &models,
+           dnn::DnnTask task, double paper_bp_cloud,
+           double paper_mgx_cloud)
+{
+    bench::printHeader(title, {"model", "Cloud-MGX", "Cloud-BP",
+                               "Edge-MGX", "Edge-BP"});
+    double sums[4] = {};
+    for (const auto &m : models) {
+        auto cloud = bench::runDnnWorkload(
+            m, task, false, {Scheme::NP, Scheme::MGX, Scheme::BP});
+        auto edge = bench::runDnnWorkload(
+            m, task, true, {Scheme::NP, Scheme::MGX, Scheme::BP});
+        const double v[4] = {cloud.trafficIncrease(Scheme::MGX),
+                             cloud.trafficIncrease(Scheme::BP),
+                             edge.trafficIncrease(Scheme::MGX),
+                             edge.trafficIncrease(Scheme::BP)};
+        bench::printRow(m, {v[0], v[1], v[2], v[3]});
+        for (int i = 0; i < 4; ++i)
+            sums[i] += v[i];
+    }
+    const double n = static_cast<double>(models.size());
+    bench::printRow("average",
+                    {sums[0] / n, sums[1] / n, sums[2] / n,
+                     sums[3] / n});
+    std::printf("(paper averages: Cloud-BP %.3f, Cloud-MGX %.3f)\n",
+                paper_bp_cloud, paper_mgx_cloud);
+}
+
+} // namespace
+} // namespace mgx
+
+int
+main()
+{
+    using namespace mgx;
+    std::printf("Figure 12: DNN memory traffic increase "
+                "(normalized to no protection)\n");
+    runSection("(a) inference", bench::inferenceModels(),
+               dnn::DnnTask::Inference, 1.360, 1.024);
+    runSection("(b) training", bench::trainingModels(),
+               dnn::DnnTask::Training, 1.378, 1.027);
+    return 0;
+}

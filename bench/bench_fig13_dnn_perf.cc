@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Reproduces paper Fig. 13: normalized execution time of DNN
+ * inference (a) and training (b) under MGX, the two ablations
+ * (MGX_VN: on-chip VNs + fine MACs; MGX_MAC: off-chip VNs + coarse
+ * MACs), and BP, on the Cloud and Edge accelerators.
+ *
+ * Expected shape: MGX lowest (paper averages 3.2% inference, 4.7%
+ * training), MGX_VN next (~1.08-1.12x), MGX_MAC higher
+ * (~1.16-1.20x), BP worst (~1.24-1.32x).
+ */
+
+#include "bench_util.h"
+
+namespace mgx {
+namespace {
+
+using protection::Scheme;
+
+void
+runSection(const char *title, const std::vector<std::string> &models,
+           dnn::DnnTask task)
+{
+    bench::printHeader(
+        title, {"model", "C-MGX", "C-MGXVN", "C-MGXMAC", "C-BP",
+                "E-MGX", "E-MGXVN", "E-MGXMAC", "E-BP"});
+    const std::vector<Scheme> schemes = sim::allSchemes();
+    double sums[8] = {};
+    for (const auto &m : models) {
+        auto cloud = bench::runDnnWorkload(m, task, false, schemes);
+        auto edge = bench::runDnnWorkload(m, task, true, schemes);
+        const double v[8] = {cloud.normalizedTime(Scheme::MGX),
+                             cloud.normalizedTime(Scheme::MGX_VN),
+                             cloud.normalizedTime(Scheme::MGX_MAC),
+                             cloud.normalizedTime(Scheme::BP),
+                             edge.normalizedTime(Scheme::MGX),
+                             edge.normalizedTime(Scheme::MGX_VN),
+                             edge.normalizedTime(Scheme::MGX_MAC),
+                             edge.normalizedTime(Scheme::BP)};
+        bench::printRow(m, {v[0], v[1], v[2], v[3], v[4], v[5], v[6],
+                            v[7]});
+        for (int i = 0; i < 8; ++i)
+            sums[i] += v[i];
+    }
+    const double n = static_cast<double>(models.size());
+    bench::printRow("average",
+                    {sums[0] / n, sums[1] / n, sums[2] / n, sums[3] / n,
+                     sums[4] / n, sums[5] / n, sums[6] / n,
+                     sums[7] / n});
+    const double mgx_avg = (sums[0] + sums[4]) / (2 * n);
+    const double bp_avg = (sums[3] + sums[7]) / (2 * n);
+    std::printf("MGX average overhead: %.1f%%   BP average slowdown: "
+                "%.2fx\n",
+                100.0 * (mgx_avg - 1.0), bp_avg);
+}
+
+} // namespace
+} // namespace mgx
+
+int
+main()
+{
+    using namespace mgx;
+    std::printf("Figure 13: normalized DNN execution time "
+                "(paper: MGX 3.2%% inf / 4.7%% train; BP 1.24-1.32x)\n");
+    runSection("(a) inference", bench::inferenceModels(),
+               dnn::DnnTask::Inference);
+    runSection("(b) training", bench::trainingModels(),
+               dnn::DnnTask::Training);
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Reproduces paper Fig. 16: normalized execution time of the GACT
+ * genome-alignment accelerator under BP and MGX_VN for the nine
+ * chr{1,X,Y} x {PacBio, ONT2D, ONT1D} workloads.
+ *
+ * Only MGX_VN is evaluated (as in the paper): GACT's chunk loads are
+ * small, variable-sized and randomly placed, so coarse MACs do not
+ * apply. Expected shape: BP ~1.14x average, MGX_VN ~1.04x; traffic
+ * overhead BP ~34%, MGX_VN ~12.5%.
+ */
+
+#include "bench_util.h"
+#include "genome/genome_kernel.h"
+
+namespace mgx {
+namespace {
+
+using protection::Scheme;
+
+} // namespace
+} // namespace mgx
+
+int
+main()
+{
+    using namespace mgx;
+    std::printf("Figure 16: GACT normalized execution time\n");
+    bench::printHeader("GACT (reference-guided assembly)",
+                       {"workload", "MGX_VN", "BP", "t-MGX_VN",
+                        "t-BP"});
+    double sum_vn = 0, sum_bp = 0, sum_tvn = 0, sum_tbp = 0;
+    int n = 0;
+    for (const auto &workload : genome::paperWorkloads(64)) {
+        genome::GenomeKernel kernel(workload);
+        core::Trace trace = kernel.generate();
+        protection::ProtectionConfig base;
+        auto cmp = sim::compareSchemes(
+            trace, sim::genomePlatform(), base,
+            {Scheme::NP, Scheme::MGX_VN, Scheme::BP});
+        const double vn = cmp.normalizedTime(Scheme::MGX_VN);
+        const double bp = cmp.normalizedTime(Scheme::BP);
+        const double tvn = cmp.trafficIncrease(Scheme::MGX_VN);
+        const double tbp = cmp.trafficIncrease(Scheme::BP);
+        bench::printRow(workload.name, {vn, bp, tvn, tbp});
+        sum_vn += vn;
+        sum_bp += bp;
+        sum_tvn += tvn;
+        sum_tbp += tbp;
+        ++n;
+    }
+    bench::printRow("average", {sum_vn / n, sum_bp / n, sum_tvn / n,
+                                sum_tbp / n});
+    std::printf("(paper: BP 14%% avg slowdown / 34%% traffic; "
+                "MGX_VN 4%% / 12.5%%)\n");
+    return 0;
+}

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the substrates: crypto
+ * primitives, the Merkle tree, the DRAM timing model, the metadata
+ * cache, and end-to-end trace generation. These quantify simulator
+ * throughput, not modeled hardware performance.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "crypto/aes128.h"
+#include "crypto/ctr_mode.h"
+#include "crypto/mac.h"
+#include "crypto/merkle_tree.h"
+#include "crypto/sha256.h"
+#include "dnn/dnn_kernel.h"
+#include "dnn/models.h"
+#include "dram/dram_system.h"
+#include "protection/meta_cache.h"
+#include "protection/protection_engine.h"
+
+namespace {
+
+using namespace mgx;
+
+void
+BM_AesEncryptBlock(benchmark::State &state)
+{
+    crypto::Key key{};
+    key[0] = 1;
+    crypto::Aes128 aes(key);
+    crypto::Block block{};
+    for (auto _ : state) {
+        block = aes.encryptBlock(block);
+        benchmark::DoNotOptimize(block);
+    }
+    state.SetBytesProcessed(static_cast<i64>(state.iterations()) * 16);
+}
+BENCHMARK(BM_AesEncryptBlock);
+
+void
+BM_CtrCrypt4k(benchmark::State &state)
+{
+    crypto::Key key{};
+    crypto::CtrEngine engine(key);
+    std::vector<u8> buf(4096, 0x5a);
+    for (auto _ : state) {
+        engine.crypt(0x1000, 7, buf);
+        benchmark::DoNotOptimize(buf.data());
+    }
+    state.SetBytesProcessed(static_cast<i64>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_CtrCrypt4k);
+
+void
+BM_CmacTag512(benchmark::State &state)
+{
+    crypto::Key key{};
+    crypto::CmacEngine cmac(key);
+    std::vector<u8> buf(512, 0x33);
+    for (auto _ : state) {
+        u64 tag = cmac.tag(buf, 0x2000, 9);
+        benchmark::DoNotOptimize(tag);
+    }
+    state.SetBytesProcessed(static_cast<i64>(state.iterations()) * 512);
+}
+BENCHMARK(BM_CmacTag512);
+
+void
+BM_Sha256_64B(benchmark::State &state)
+{
+    std::vector<u8> buf(64, 0x77);
+    for (auto _ : state) {
+        auto digest = crypto::sha256(buf);
+        benchmark::DoNotOptimize(digest);
+    }
+    state.SetBytesProcessed(static_cast<i64>(state.iterations()) * 64);
+}
+BENCHMARK(BM_Sha256_64B);
+
+void
+BM_MerkleUpdateLeaf(benchmark::State &state)
+{
+    crypto::MerkleTree tree(static_cast<std::size_t>(state.range(0)),
+                            8);
+    std::vector<u8> leaf(64, 0x11);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        tree.updateLeaf(i++ % tree.numLeaves(), leaf);
+    }
+}
+BENCHMARK(BM_MerkleUpdateLeaf)->Arg(64)->Arg(4096)->Arg(262144);
+
+void
+BM_DramStream(benchmark::State &state)
+{
+    for (auto _ : state) {
+        state.PauseTiming();
+        dram::DramSystem sys(
+            dram::ddr4_2400(static_cast<u32>(state.range(0))));
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(
+            sys.accessRange(0, 1 << 20, false, 0));
+    }
+    state.SetBytesProcessed(static_cast<i64>(state.iterations()) *
+                            (1 << 20));
+}
+BENCHMARK(BM_DramStream)->Arg(1)->Arg(4);
+
+void
+BM_MetaCacheAccess(benchmark::State &state)
+{
+    protection::MetaCache cache(32 << 10, 8);
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(a, false));
+        a += 64;
+    }
+}
+BENCHMARK(BM_MetaCacheAccess);
+
+void
+BM_ProtectionEngineStream(benchmark::State &state)
+{
+    const auto scheme =
+        static_cast<protection::Scheme>(state.range(0));
+    for (auto _ : state) {
+        state.PauseTiming();
+        dram::DramSystem dram(dram::ddr4_2400(4));
+        protection::ProtectionConfig cfg;
+        cfg.scheme = scheme;
+        protection::ProtectionEngine engine(cfg, &dram);
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(engine.access(
+            {0, 1 << 20, AccessType::Read, DataClass::Generic, 1, 0},
+            0));
+    }
+    state.SetBytesProcessed(static_cast<i64>(state.iterations()) *
+                            (1 << 20));
+}
+BENCHMARK(BM_ProtectionEngineStream)
+    ->Arg(static_cast<int>(protection::Scheme::NP))
+    ->Arg(static_cast<int>(protection::Scheme::MGX))
+    ->Arg(static_cast<int>(protection::Scheme::BP));
+
+void
+BM_DnnTraceGeneration(benchmark::State &state)
+{
+    for (auto _ : state) {
+        dnn::DnnKernel kernel(dnn::resnet50(), dnn::cloudAccel());
+        benchmark::DoNotOptimize(kernel.generate());
+    }
+}
+BENCHMARK(BM_DnnTraceGeneration);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benches: fixed-width
+ * table printing and the standard workload -> SchemeComparison runs.
+ */
+
+#ifndef MGX_BENCH_BENCH_UTIL_H
+#define MGX_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dnn/dnn_kernel.h"
+#include "dnn/models.h"
+#include "sim/runner.h"
+
+namespace mgx::bench {
+
+/** Print a header row followed by a separator. */
+inline void
+printHeader(const std::string &title,
+            const std::vector<std::string> &columns)
+{
+    std::printf("\n== %s ==\n", title.c_str());
+    for (const auto &col : columns)
+        std::printf("%-14s", col.c_str());
+    std::printf("\n");
+    for (std::size_t i = 0; i < columns.size(); ++i)
+        std::printf("--------------");
+    std::printf("\n");
+}
+
+/** One labelled row of ratios. */
+inline void
+printRow(const std::string &label, const std::vector<double> &values)
+{
+    std::printf("%-14s", label.c_str());
+    for (double v : values)
+        std::printf("%-14.3f", v);
+    std::printf("\n");
+}
+
+/** Run one DNN workload on a platform and compare schemes. */
+inline sim::SchemeComparison
+runDnnWorkload(const std::string &model_name, dnn::DnnTask task,
+               bool edge, const std::vector<protection::Scheme> &schemes)
+{
+    dnn::DnnKernel kernel(dnn::modelByName(model_name),
+                          edge ? dnn::edgeAccel() : dnn::cloudAccel(),
+                          task);
+    core::Trace trace = kernel.generate();
+    protection::ProtectionConfig base;
+    return sim::compareSchemes(trace,
+                               edge ? sim::edgePlatform()
+                                    : sim::cloudPlatform(),
+                               base, schemes);
+}
+
+/** The models the paper plots for inference and training. */
+inline std::vector<std::string>
+inferenceModels()
+{
+    return {"VGG", "AlexNet", "GoogleNet", "ResNet", "BERT", "DLRM"};
+}
+
+inline std::vector<std::string>
+trainingModels()
+{
+    return {"VGG", "AlexNet", "GoogleNet", "ResNet", "BERT"};
+}
+
+} // namespace mgx::bench
+
+#endif // MGX_BENCH_BENCH_UTIL_H

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Trace replay: dump any kernel's trace to a portable text file and
+ * re-simulate it later — the workflow for archiving experiment
+ * artifacts or inspecting a schedule with standard tools.
+ *
+ * Usage:
+ *   trace_replay dump <model> <file>   # e.g. trace_replay dump AlexNet t.trace
+ *   trace_replay run  <file> [edge|cloud]
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "core/invariant_checker.h"
+#include "dnn/dnn_kernel.h"
+#include "dnn/models.h"
+#include "sim/runner.h"
+#include "sim/trace_io.h"
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage:\n"
+                 "  trace_replay dump <model> <file>\n"
+                 "  trace_replay run <file> [edge|cloud]\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace mgx;
+    if (argc < 3)
+        return usage();
+
+    if (std::strcmp(argv[1], "dump") == 0) {
+        if (argc < 4)
+            return usage();
+        dnn::DnnKernel kernel(dnn::modelByName(argv[2]),
+                              dnn::cloudAccel());
+        core::Trace trace = kernel.generate();
+        std::ofstream out(argv[3]);
+        if (!out)
+            fatal("cannot open '%s' for writing", argv[3]);
+        sim::writeTrace(trace, out);
+        std::printf("wrote %zu phases (%.1f MB of traffic) to %s\n",
+                    trace.size(),
+                    static_cast<double>(core::traceDataBytes(trace)) /
+                        1e6,
+                    argv[3]);
+        return 0;
+    }
+
+    if (std::strcmp(argv[1], "run") == 0) {
+        std::ifstream in(argv[2]);
+        if (!in)
+            fatal("cannot open '%s'", argv[2]);
+        core::Trace trace = sim::readTrace(in);
+        std::printf("loaded %zu phases, %.1f MB of traffic\n",
+                    trace.size(),
+                    static_cast<double>(core::traceDataBytes(trace)) /
+                        1e6);
+
+        core::InvariantChecker checker;
+        checker.observeTrace(trace);
+        std::printf("VN invariant: %s\n",
+                    checker.report().ok ? "OK" : "VIOLATED");
+
+        const bool edge = argc > 3 && std::strcmp(argv[3], "edge") == 0;
+        protection::ProtectionConfig base;
+        auto cmp = sim::compareSchemes(trace,
+                                       edge ? sim::edgePlatform()
+                                            : sim::cloudPlatform(),
+                                       base, sim::allSchemes());
+        std::printf("%-8s %12s %12s\n", "scheme", "norm. time",
+                    "traffic");
+        for (auto s : sim::allSchemes())
+            std::printf("%-8s %12.3f %12.3f\n",
+                        protection::schemeName(s),
+                        cmp.normalizedTime(s), cmp.trafficIncrease(s));
+        return 0;
+    }
+    return usage();
+}

@@ -1,0 +1,72 @@
+#include "log.h"
+
+#include <cstdarg>
+
+namespace mgx {
+namespace detail {
+
+LogLevel &
+logThreshold()
+{
+    static LogLevel level = LogLevel::Info;
+    return level;
+}
+
+static const char *
+levelTag(LogLevel lvl)
+{
+    switch (lvl) {
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Info: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Error: return "error";
+    }
+    return "?";
+}
+
+void
+vlog(LogLevel lvl, const char *fmt, ...)
+{
+    if (static_cast<int>(lvl) < static_cast<int>(logThreshold()))
+        return;
+    std::fprintf(stderr, "[mgx:%s] ", levelTag(lvl));
+    va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(stderr, fmt, ap);
+    va_end(ap);
+    std::fputc('\n', stderr);
+}
+
+} // namespace detail
+
+void
+setLogLevel(LogLevel lvl)
+{
+    detail::logThreshold() = lvl;
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    std::fprintf(stderr, "[mgx:fatal] ");
+    va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(stderr, fmt, ap);
+    va_end(ap);
+    std::fputc('\n', stderr);
+    std::exit(1);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    std::fprintf(stderr, "[mgx:panic] ");
+    va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(stderr, fmt, ap);
+    va_end(ap);
+    std::fputc('\n', stderr);
+    std::abort();
+}
+
+} // namespace mgx

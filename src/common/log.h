@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Minimal logging / fatal-error facility in the spirit of gem5's
+ * base/logging.hh. `fatal` reports user-level configuration errors;
+ * `panic` reports internal invariant violations and aborts.
+ */
+
+#ifndef MGX_COMMON_LOG_H
+#define MGX_COMMON_LOG_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace mgx {
+
+/** Severity levels for runtime messages. */
+enum class LogLevel { Debug, Info, Warn, Error };
+
+namespace detail {
+
+/** Global log threshold; messages below it are suppressed. */
+LogLevel &logThreshold();
+
+void vlog(LogLevel lvl, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+} // namespace detail
+
+/** Set the global minimum level that will be printed. */
+void setLogLevel(LogLevel lvl);
+
+/** Informational message for the user. */
+#define MGX_INFO(...) ::mgx::detail::vlog(::mgx::LogLevel::Info, __VA_ARGS__)
+
+/** Something may be mis-modelled but the run can continue. */
+#define MGX_WARN(...) ::mgx::detail::vlog(::mgx::LogLevel::Warn, __VA_ARGS__)
+
+/** Debug-level tracing, off by default. */
+#define MGX_DEBUG(...) \
+    ::mgx::detail::vlog(::mgx::LogLevel::Debug, __VA_ARGS__)
+
+/**
+ * Unrecoverable user error (bad configuration, invalid workload):
+ * print and exit(1).
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Internal invariant violation (a bug in MGX itself): print and abort().
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace mgx
+
+#endif // MGX_COMMON_LOG_H

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Lightweight named-counter statistics, loosely modeled on gem5's stats
+ * package. Each subsystem owns a StatGroup; benches read counters out to
+ * build the paper's tables.
+ */
+
+#ifndef MGX_COMMON_STATS_H
+#define MGX_COMMON_STATS_H
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "types.h"
+
+namespace mgx {
+
+/**
+ * A flat map of named 64-bit counters plus derived-ratio helpers.
+ * Not thread-safe; the simulator is single-threaded by design.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    /** Add @p delta to counter @p key (creating it at zero). */
+    void
+    add(const std::string &key, u64 delta = 1)
+    {
+        counters_[key] += delta;
+    }
+
+    /** Overwrite counter @p key. */
+    void
+    set(const std::string &key, u64 value)
+    {
+        counters_[key] = value;
+    }
+
+    /** Read a counter; missing keys read as zero. */
+    u64
+    get(const std::string &key) const
+    {
+        auto it = counters_.find(key);
+        return it == counters_.end() ? 0 : it->second;
+    }
+
+    /** Ratio of two counters; returns 0 when the denominator is zero. */
+    double
+    ratio(const std::string &num, const std::string &den) const
+    {
+        u64 d = get(den);
+        return d == 0 ? 0.0 : static_cast<double>(get(num)) / d;
+    }
+
+    /** Reset all counters to zero. */
+    void clear() { counters_.clear(); }
+
+    /** Group name given at construction. */
+    const std::string &name() const { return name_; }
+
+    /** All counters, sorted by key (std::map iteration order). */
+    const std::map<std::string, u64> &counters() const { return counters_; }
+
+    /** Dump `group.key value` lines to @p out. */
+    void
+    dump(std::FILE *out = stdout) const
+    {
+        for (const auto &[key, value] : counters_)
+            std::fprintf(out, "%s.%s %llu\n", name_.c_str(), key.c_str(),
+                         static_cast<unsigned long long>(value));
+    }
+
+  private:
+    std::string name_;
+    std::map<std::string, u64> counters_;
+};
+
+} // namespace mgx
+
+#endif // MGX_COMMON_STATS_H

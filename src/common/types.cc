@@ -1,0 +1,22 @@
+#include "types.h"
+
+namespace mgx {
+
+const char *
+dataClassName(DataClass dc)
+{
+    switch (dc) {
+      case DataClass::Feature: return "feature";
+      case DataClass::Weight: return "weight";
+      case DataClass::Gradient: return "gradient";
+      case DataClass::GraphMatrix: return "graph-matrix";
+      case DataClass::GraphVector: return "graph-vector";
+      case DataClass::GenomeTable: return "genome-table";
+      case DataClass::GenomeQuery: return "genome-query";
+      case DataClass::VideoFrame: return "video-frame";
+      case DataClass::Generic: return "generic";
+    }
+    return "unknown";
+}
+
+} // namespace mgx

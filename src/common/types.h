@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fundamental integer type aliases and core value types shared by every
+ * MGX subsystem.
+ */
+
+#ifndef MGX_COMMON_TYPES_H
+#define MGX_COMMON_TYPES_H
+
+#include <cstdint>
+#include <string>
+
+namespace mgx {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/** Physical byte address in the accelerator's protected DRAM space. */
+using Addr = u64;
+
+/** Simulated clock cycle count. */
+using Cycles = u64;
+
+/** 64-bit version number used as the non-address half of an AES counter. */
+using Vn = u64;
+
+/** Direction of a memory access. */
+enum class AccessType : u8 { Read, Write };
+
+/**
+ * Data class carried by every logical access. The counter construction
+ * (paper Fig. 6) tags the VN with a 2-bit type so features, weights, and
+ * gradients can never collide even when their VN values coincide; the
+ * remaining classes cover the graph / genome / video case studies.
+ */
+enum class DataClass : u8 {
+    Feature,      ///< DNN activations (VN_F)
+    Weight,       ///< DNN weights (VN_W)
+    Gradient,     ///< DNN gradients (VN_G)
+    GraphMatrix,  ///< sparse adjacency structure (constant VN)
+    GraphVector,  ///< dense rank / frontier vectors (VN = Iter)
+    GenomeTable,  ///< reference, seed and position tables (CTR_genome)
+    GenomeQuery,  ///< query batches and traceback output (CTR_query)
+    VideoFrame,   ///< decoded frame buffers (CTR_IN || F)
+    Generic,      ///< anything else (MatMul example, raw buffers)
+};
+
+/** Human-readable name for a data class (stats and trace dumps). */
+const char *dataClassName(DataClass dc);
+
+/** Human-readable name for an access type. */
+inline const char *
+accessTypeName(AccessType t)
+{
+    return t == AccessType::Read ? "read" : "write";
+}
+
+} // namespace mgx
+
+#endif // MGX_COMMON_TYPES_H

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * MGX counter construction (paper Fig. 6).
+ *
+ * The 128-bit AES-CTR counter is (64-bit address || 64-bit VN). The top
+ * two bits of the VN carry a data-class tag so that features, weights
+ * and gradients (and, in other domains, structurally distinct data
+ * classes) can never produce colliding counters even when their raw VN
+ * values coincide. The remaining 62 bits hold the kernel-generated
+ * version value.
+ */
+
+#ifndef MGX_CORE_COUNTER_H
+#define MGX_CORE_COUNTER_H
+
+#include "common/log.h"
+#include "common/types.h"
+
+namespace mgx::core {
+
+/** Number of tag bits reserved at the top of the VN. */
+constexpr unsigned kVnTagBits = 2;
+
+/** Usable width of the version value underneath the tag. */
+constexpr unsigned kVnValueBits = 64 - kVnTagBits;
+
+/** Largest raw version value before the kernel must re-key. */
+constexpr Vn kVnValueMax = (Vn{1} << kVnValueBits) - 1;
+
+/** 2-bit counter tags from Fig. 6 (graph/genome/video reuse the space). */
+enum class VnTag : u8 {
+    Feature = 0b00,  ///< also graph vectors, video frames
+    Weight = 0b01,   ///< also graph matrices, genome tables
+    Gradient = 0b10, ///< also genome query/traceback streams
+    Aux = 0b11,      ///< spare class for kernel-defined data
+};
+
+/** Map a data class onto its 2-bit counter tag. */
+constexpr VnTag
+tagForClass(DataClass dc)
+{
+    switch (dc) {
+      case DataClass::Feature:
+      case DataClass::GraphVector:
+      case DataClass::VideoFrame:
+        return VnTag::Feature;
+      case DataClass::Weight:
+      case DataClass::GraphMatrix:
+      case DataClass::GenomeTable:
+        return VnTag::Weight;
+      case DataClass::Gradient:
+      case DataClass::GenomeQuery:
+        return VnTag::Gradient;
+      case DataClass::Generic:
+        return VnTag::Aux;
+    }
+    return VnTag::Aux;
+}
+
+/**
+ * Compose the full 64-bit VN from a tag and a raw version value.
+ * Overflow of the 62-bit value space is a hard error: the paper's
+ * remedy (re-encrypt under a fresh key) must be triggered by the
+ * kernel before this point.
+ */
+inline Vn
+makeVn(VnTag tag, Vn value)
+{
+    if (value > kVnValueMax)
+        fatal("VN value overflow (%llu): kernel must re-key",
+              static_cast<unsigned long long>(value));
+    return (static_cast<Vn>(tag) << kVnValueBits) | value;
+}
+
+/** Convenience overload deriving the tag from the data class. */
+inline Vn
+makeVn(DataClass dc, Vn value)
+{
+    return makeVn(tagForClass(dc), value);
+}
+
+/** Extract the raw version value (drops the tag). */
+constexpr Vn
+vnValue(Vn vn)
+{
+    return vn & kVnValueMax;
+}
+
+/** Extract the tag bits. */
+constexpr VnTag
+vnTag(Vn vn)
+{
+    return static_cast<VnTag>(vn >> kVnValueBits);
+}
+
+} // namespace mgx::core
+
+#endif // MGX_CORE_COUNTER_H

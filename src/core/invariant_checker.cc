@@ -1,0 +1,105 @@
+#include "invariant_checker.h"
+
+#include <cstdio>
+
+#include "common/bitops.h"
+#include "common/log.h"
+
+namespace mgx::core {
+
+InvariantChecker::InvariantChecker(u32 block_bytes, bool exhaustive)
+    : blockBytes_(block_bytes), exhaustive_(exhaustive)
+{
+    if (!isPow2(block_bytes))
+        fatal("InvariantChecker granularity must be a power of two");
+}
+
+void
+InvariantChecker::violation(std::string msg)
+{
+    report_.ok = false;
+    if (report_.violations.size() < 16)
+        report_.violations.push_back(std::move(msg));
+}
+
+void
+InvariantChecker::observe(const LogicalAccess &acc)
+{
+    const VnTag tag = vnTag(acc.vn);
+    const Vn value = vnValue(acc.vn);
+    const Addr first = acc.addr / blockBytes_;
+    const Addr last = (acc.addr + acc.bytes - 1) / blockBytes_;
+
+    char buf[160];
+    for (Addr b = first; b <= last; ++b) {
+        const u64 k = key(b, tag);
+        if (acc.type == AccessType::Write) {
+            ++report_.writesChecked;
+            auto it = lastWrite_.find(k);
+            if (it != lastWrite_.end() && value <= vnValue(it->second)) {
+                std::snprintf(buf, sizeof(buf),
+                              "write block %#llx tag %u: VN %llu not above "
+                              "previous %llu",
+                              static_cast<unsigned long long>(b *
+                                                              blockBytes_),
+                              static_cast<unsigned>(tag),
+                              static_cast<unsigned long long>(value),
+                              static_cast<unsigned long long>(
+                                  vnValue(it->second)));
+                violation(buf);
+            }
+            if (exhaustive_) {
+                auto &set = used_[k];
+                if (!set.insert(acc.vn).second) {
+                    std::snprintf(buf, sizeof(buf),
+                                  "write block %#llx: VN %llu reused",
+                                  static_cast<unsigned long long>(
+                                      b * blockBytes_),
+                                  static_cast<unsigned long long>(value));
+                    violation(buf);
+                }
+            }
+            lastWrite_[k] = acc.vn;
+        } else {
+            ++report_.readsChecked;
+            auto it = lastWrite_.find(k);
+            if (it == lastWrite_.end()) {
+                if (!allowUnwrittenReads_) {
+                    std::snprintf(buf, sizeof(buf),
+                                  "read block %#llx tag %u never written",
+                                  static_cast<unsigned long long>(
+                                      b * blockBytes_),
+                                  static_cast<unsigned>(tag));
+                    violation(buf);
+                }
+            } else if (it->second != acc.vn) {
+                std::snprintf(buf, sizeof(buf),
+                              "read block %#llx tag %u: VN %llu != last "
+                              "write VN %llu",
+                              static_cast<unsigned long long>(b *
+                                                              blockBytes_),
+                              static_cast<unsigned>(tag),
+                              static_cast<unsigned long long>(value),
+                              static_cast<unsigned long long>(
+                                  vnValue(it->second)));
+                violation(buf);
+            }
+        }
+    }
+}
+
+void
+InvariantChecker::observeTrace(const Trace &trace)
+{
+    for (const auto &phase : trace)
+        for (const auto &acc : phase.accesses)
+            observe(acc);
+}
+
+CheckReport
+InvariantChecker::report() const
+{
+    return report_;
+}
+
+} // namespace mgx::core

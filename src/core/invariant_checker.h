@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Security-invariant checker for VN generation.
+ *
+ * The MGX security argument (paper §III-D) reduces to one property:
+ * a (address, VN) pair is never used for more than one write, and every
+ * read regenerates exactly the VN of the most recent write covering its
+ * address. This checker validates both properties over a kernel trace.
+ *
+ * Two modes:
+ *  - Monotonic (default): each write to a block must carry a strictly
+ *    larger VN value than the previous write with the same counter tag.
+ *    This is a sufficient condition for uniqueness and holds for every
+ *    kernel in the paper; it needs only one remembered VN per block.
+ *  - Exhaustive: additionally remembers the full set of VNs ever used
+ *    per block, catching any reuse pattern. Memory-hungry; for unit
+ *    tests on small traces.
+ */
+
+#ifndef MGX_CORE_INVARIANT_CHECKER_H
+#define MGX_CORE_INVARIANT_CHECKER_H
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "access.h"
+#include "common/types.h"
+#include "counter.h"
+#include "phase.h"
+
+namespace mgx::core {
+
+/** Result of checking one trace. */
+struct CheckReport
+{
+    bool ok = true;
+    u64 writesChecked = 0;
+    u64 readsChecked = 0;
+    std::vector<std::string> violations; ///< capped at 16 entries
+};
+
+/** Validates the no-counter-reuse and read-regeneration invariants. */
+class InvariantChecker
+{
+  public:
+    /**
+     * @param block_bytes  tracking granularity; VNs are uniform within a
+     *                     logical access, so any granularity that divides
+     *                     the smallest access is exact. Default 64.
+     * @param exhaustive   remember all VNs per block (see file comment)
+     */
+    explicit InvariantChecker(u32 block_bytes = 64, bool exhaustive = false);
+
+    /** Observe one access; records violations internally. */
+    void observe(const LogicalAccess &acc);
+
+    /** Observe every access of a trace in order. */
+    void observeTrace(const Trace &trace);
+
+    /** Produce the final report. */
+    CheckReport report() const;
+
+    /** Allow reads of blocks never written (pre-loaded input regions). */
+    void
+    allowUnwrittenReads(bool allow)
+    {
+        allowUnwrittenReads_ = allow;
+    }
+
+  private:
+    void violation(std::string msg);
+
+    /** Map (block index, tag) to a single key. */
+    static u64
+    key(Addr block, VnTag tag)
+    {
+        return (block << kVnTagBits) | static_cast<u64>(tag);
+    }
+
+    u32 blockBytes_;
+    bool exhaustive_;
+    bool allowUnwrittenReads_ = true;
+    CheckReport report_;
+    std::unordered_map<u64, Vn> lastWrite_;
+    std::unordered_map<u64, std::unordered_set<Vn>> used_;
+};
+
+} // namespace mgx::core
+
+#endif // MGX_CORE_INVARIANT_CHECKER_H

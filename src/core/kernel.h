@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Base class for accelerator kernels.
+ *
+ * In MGX the *kernel* — the attested program on the accelerator's
+ * control processor — is the component that generates version numbers.
+ * Each domain (DNN, graph, genome, video, and the tiled-MatMul example)
+ * subclasses Kernel, maintains its VN program state in a VnState, and
+ * emits a Trace whose logical accesses carry fully formed VNs.
+ */
+
+#ifndef MGX_CORE_KERNEL_H
+#define MGX_CORE_KERNEL_H
+
+#include <string>
+
+#include "phase.h"
+#include "vn_state.h"
+
+namespace mgx::core {
+
+/** An attested control-processor program that generates VNs. */
+class Kernel
+{
+  public:
+    virtual ~Kernel() = default;
+
+    /** Human-readable kernel name for reports. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Run the kernel's schedule and emit the phase trace. Idempotent
+     * only if the subclass resets its state; callers should treat each
+     * call as one further execution (e.g. one more training iteration).
+     */
+    virtual Trace generate() = 0;
+
+    /** The kernel's on-chip VN state (for storage-cost reporting). */
+    const VnState &state() const { return state_; }
+
+  protected:
+    VnState state_;
+};
+
+} // namespace mgx::core
+
+#endif // MGX_CORE_KERNEL_H

@@ -1,0 +1,118 @@
+#include "matmul_kernel.h"
+
+#include "common/bitops.h"
+#include "common/log.h"
+
+namespace mgx::core {
+
+MatMulKernel::MatMulKernel(const MatMulParams &params) : params_(params)
+{
+    if (params_.m % params_.mTiles || params_.n % params_.nTiles ||
+        params_.k % params_.kTiles) {
+        fatal("MatMul dimensions must divide evenly into tiles");
+    }
+    state_.setCounter("VN[A]", params_.initialVn);
+    state_.setCounter("VN[B]", params_.initialVn);
+    state_.setCounter("VN[C]", params_.initialVn);
+}
+
+Addr
+MatMulKernel::tileAddrA(u64 mi, u64 ki) const
+{
+    const u64 tile_bytes =
+        (params_.m / params_.mTiles) * (params_.k / params_.kTiles) *
+        params_.elemBytes;
+    return params_.baseA + (mi * params_.kTiles + ki) * tile_bytes;
+}
+
+Addr
+MatMulKernel::tileAddrB(u64 ki, u64 ni) const
+{
+    const u64 tile_bytes =
+        (params_.k / params_.kTiles) * (params_.n / params_.nTiles) *
+        params_.elemBytes;
+    return params_.baseB + (ki * params_.nTiles + ni) * tile_bytes;
+}
+
+Addr
+MatMulKernel::tileAddrC(u64 mi, u64 ni) const
+{
+    const u64 tile_bytes =
+        (params_.m / params_.mTiles) * (params_.n / params_.nTiles) *
+        params_.elemBytes;
+    return params_.baseC + (mi * params_.nTiles + ni) * tile_bytes;
+}
+
+Trace
+MatMulKernel::generate()
+{
+    const u64 tm = params_.m / params_.mTiles;
+    const u64 tn = params_.n / params_.nTiles;
+    const u64 tk = params_.k / params_.kTiles;
+    const u64 bytes_a = tm * tk * params_.elemBytes;
+    const u64 bytes_b = tk * tn * params_.elemBytes;
+    const u64 bytes_c = tm * tn * params_.elemBytes;
+    const Vn vn_in = makeVn(DataClass::Generic, params_.initialVn);
+
+    Trace trace;
+
+    // Session setup: the host loads A and B with the initial VN.
+    Phase setup;
+    setup.name = "load-operands";
+    for (u64 mi = 0; mi < params_.mTiles; ++mi)
+        for (u64 ki = 0; ki < params_.kTiles; ++ki)
+            setup.accesses.push_back({tileAddrA(mi, ki), bytes_a,
+                                      AccessType::Write,
+                                      DataClass::Generic, vn_in, 0});
+    for (u64 ki = 0; ki < params_.kTiles; ++ki)
+        for (u64 ni = 0; ni < params_.nTiles; ++ni)
+            setup.accesses.push_back({tileAddrB(ki, ni), bytes_b,
+                                      AccessType::Write,
+                                      DataClass::Generic, vn_in, 0});
+    trace.push_back(std::move(setup));
+
+    // Fig. 4(b): outer loop over K rounds; VN[C] bumps once per round.
+    for (u64 ki = 0; ki < params_.kTiles; ++ki) {
+        const Vn vn_c_read =
+            makeVn(DataClass::Generic, state_.counter("VN[C]"));
+        const Vn vn_c_write =
+            makeVn(DataClass::Generic, state_.bumpCounter("VN[C]"));
+        for (u64 mi = 0; mi < params_.mTiles; ++mi) {
+            for (u64 ni = 0; ni < params_.nTiles; ++ni) {
+                Phase p;
+                p.name = "round" + std::to_string(ki) + "-tile(" +
+                         std::to_string(mi) + "," + std::to_string(ni) +
+                         ")";
+                // MACs / PEs, one MAC per PE per cycle.
+                p.computeCycles = divCeil(tm * tn * tk, params_.peCount);
+                p.accesses.push_back({tileAddrA(mi, ki), bytes_a,
+                                      AccessType::Read, DataClass::Generic,
+                                      vn_in, 0});
+                p.accesses.push_back({tileAddrB(ki, ni), bytes_b,
+                                      AccessType::Read, DataClass::Generic,
+                                      vn_in, 0});
+                if (ki > 0) {
+                    // Accumulate: re-read the partial result with the VN
+                    // it was last written with.
+                    p.accesses.push_back({tileAddrC(mi, ni), bytes_c,
+                                          AccessType::Read,
+                                          DataClass::Generic, vn_c_read,
+                                          0});
+                }
+                p.accesses.push_back({tileAddrC(mi, ni), bytes_c,
+                                      AccessType::Write,
+                                      DataClass::Generic, vn_c_write, 0});
+                trace.push_back(std::move(p));
+            }
+        }
+    }
+    return trace;
+}
+
+Vn
+MatMulKernel::finalOutputVn() const
+{
+    return makeVn(DataClass::Generic, state_.counter("VN[C]"));
+}
+
+} // namespace mgx::core

@@ -1,0 +1,56 @@
+#include "rekey.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace mgx::core {
+
+RekeyManager::RekeyManager(Vn headroom) : headroom_(headroom)
+{
+    if (headroom_ == 0 || headroom_ >= kVnValueMax)
+        fatal("re-key headroom must be in (0, 2^62)");
+}
+
+bool
+RekeyManager::needsRekey(Vn vn_value) const
+{
+    return vn_value >= kVnValueMax - headroom_;
+}
+
+Trace
+RekeyManager::planRekey(const std::vector<LiveRegion> &regions,
+                        u64 chunk_bytes) const
+{
+    ++epoch_;
+    Trace trace;
+    for (const LiveRegion &region : regions) {
+        u64 off = 0;
+        u32 chunk_idx = 0;
+        while (off < region.bytes) {
+            const u64 len =
+                std::min(chunk_bytes, region.bytes - off);
+            Phase p;
+            p.name = "rekey-" + std::to_string(epoch_) + "-" +
+                     dataClassName(region.cls) + "-" +
+                     std::to_string(chunk_idx++);
+            // Decrypt under the old key with the region's current VN,
+            // re-encrypt under the new key with the epoch-fresh VN 1.
+            // (The key change itself is free: AES key expansion is a
+            // handful of cycles, invisible next to the data movement.)
+            p.computeCycles = 1;
+            p.accesses.push_back({region.addr + off, len,
+                                  AccessType::Read, region.cls,
+                                  makeVn(region.cls, region.currentVn),
+                                  0});
+            p.accesses.push_back({region.addr + off, len,
+                                  AccessType::Write, region.cls,
+                                  makeVn(region.cls, 1), 0});
+            trace.push_back(std::move(p));
+            off += len;
+        }
+    }
+    return trace;
+}
+
+} // namespace mgx::core

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Re-keying support (paper §IV-C): "If an overflow happens, MGX
+ * requires the memory to be re-encrypted with a new key."
+ *
+ * The RekeyManager watches the kernel's VN consumption and, when a
+ * counter approaches the 62-bit value space, emits the re-encryption
+ * schedule: every live region is read under the old key/VN and
+ * rewritten under the new key with VNs restarting from 1. The trace
+ * it produces runs through the normal protection engine, so the cost
+ * of a re-key is measurable like any other workload.
+ */
+
+#ifndef MGX_CORE_REKEY_H
+#define MGX_CORE_REKEY_H
+
+#include <vector>
+
+#include "access.h"
+#include "counter.h"
+#include "phase.h"
+
+namespace mgx::core {
+
+/** One live region that must survive a re-key. */
+struct LiveRegion
+{
+    Addr addr = 0;
+    u64 bytes = 0;
+    DataClass cls = DataClass::Generic;
+    Vn currentVn = 0; ///< VN of the last write (raw value, no tag)
+};
+
+/** Plans and costs re-encryption epochs. */
+class RekeyManager
+{
+  public:
+    /**
+     * @param headroom trigger a re-key when a VN value climbs within
+     *        @p headroom of the 62-bit maximum (generous by default;
+     *        tests use small values to exercise the path)
+     */
+    explicit RekeyManager(Vn headroom = Vn{1} << 32);
+
+    /** True if @p vn_value is close enough to overflow to re-key. */
+    bool needsRekey(Vn vn_value) const;
+
+    /**
+     * Build the re-encryption trace: for each region, a phase that
+     * reads it with its current VN (old key) and rewrites it with
+     * VN 1 (new key). Chunked so each phase moves at most
+     * @p chunk_bytes (the on-chip staging buffer size).
+     */
+    Trace planRekey(const std::vector<LiveRegion> &regions,
+                    u64 chunk_bytes = 1 << 20) const;
+
+    /** Epoch counter: how many re-keys have been planned. */
+    u64 epoch() const { return epoch_; }
+
+  private:
+    Vn headroom_;
+    mutable u64 epoch_ = 0;
+};
+
+} // namespace mgx::core
+
+#endif // MGX_CORE_REKEY_H

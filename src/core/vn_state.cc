@@ -1,0 +1,87 @@
+#include "vn_state.h"
+
+#include "common/log.h"
+
+namespace mgx::core {
+
+Vn
+VnState::counter(const std::string &name) const
+{
+    auto it = scalars_.find(name);
+    return it == scalars_.end() ? 0 : it->second;
+}
+
+void
+VnState::setCounter(const std::string &name, Vn value)
+{
+    scalars_[name] = value;
+}
+
+Vn
+VnState::bumpCounter(const std::string &name)
+{
+    return ++scalars_[name];
+}
+
+void
+VnState::makeTable(const std::string &name, std::size_t entries, Vn init)
+{
+    tables_[name].assign(entries, init);
+}
+
+const std::vector<Vn> &
+VnState::findTable(const std::string &name) const
+{
+    auto it = tables_.find(name);
+    if (it == tables_.end())
+        panic("VnState: unknown table '%s'", name.c_str());
+    return it->second;
+}
+
+Vn
+VnState::table(const std::string &name, std::size_t idx) const
+{
+    const auto &t = findTable(name);
+    if (idx >= t.size())
+        panic("VnState: table '%s' index %zu out of range (%zu)",
+              name.c_str(), idx, t.size());
+    return t[idx];
+}
+
+void
+VnState::setTable(const std::string &name, std::size_t idx, Vn value)
+{
+    auto &t = tables_[name];
+    if (idx >= t.size())
+        panic("VnState: table '%s' index %zu out of range (%zu)",
+              name.c_str(), idx, t.size());
+    t[idx] = value;
+}
+
+Vn
+VnState::bumpTable(const std::string &name, std::size_t idx)
+{
+    auto &t = tables_[name];
+    if (idx >= t.size())
+        panic("VnState: table '%s' index %zu out of range (%zu)",
+              name.c_str(), idx, t.size());
+    return ++t[idx];
+}
+
+u64
+VnState::onChipBytes() const
+{
+    u64 entries = scalars_.size();
+    for (const auto &[name, t] : tables_)
+        entries += t.size();
+    return entries * sizeof(Vn);
+}
+
+void
+VnState::clear()
+{
+    scalars_.clear();
+    tables_.clear();
+}
+
+} // namespace mgx::core

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The kernel's on-chip VN program state.
+ *
+ * Everything a kernel needs to (re)generate version numbers lives here:
+ * scalar counters (Iter for graph algorithms, CTR_genome/CTR_query for
+ * Darwin, CTR_IN and the frame number for H.264, VN_W for weights) and
+ * indexed tables (VN_F per layer's feature map, VN_G per gradient
+ * tensor). The class also accounts for its own on-chip storage cost so
+ * benches can report it (the paper quotes ~1 KB for a 127-layer DNN).
+ */
+
+#ifndef MGX_CORE_VN_STATE_H
+#define MGX_CORE_VN_STATE_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "counter.h"
+
+namespace mgx::core {
+
+/** On-chip version-number state tracked by a kernel. */
+class VnState
+{
+  public:
+    // -- scalar counters --------------------------------------------------
+
+    /** Read scalar counter @p name (created at zero on first use). */
+    Vn counter(const std::string &name) const;
+
+    /** Set scalar counter @p name. */
+    void setCounter(const std::string &name, Vn value);
+
+    /** Increment and return the new value. */
+    Vn bumpCounter(const std::string &name);
+
+    // -- indexed VN tables ------------------------------------------------
+
+    /**
+     * Create (or resize) table @p name with @p entries slots, all
+     * initialized to @p init.
+     */
+    void makeTable(const std::string &name, std::size_t entries,
+                   Vn init = 0);
+
+    /** Read entry @p idx of table @p name. */
+    Vn table(const std::string &name, std::size_t idx) const;
+
+    /** Overwrite entry @p idx of table @p name. */
+    void setTable(const std::string &name, std::size_t idx, Vn value);
+
+    /** Increment entry @p idx and return the new value. */
+    Vn bumpTable(const std::string &name, std::size_t idx);
+
+    // -- bookkeeping -------------------------------------------------------
+
+    /**
+     * Total on-chip storage this state occupies, in bytes (8 bytes per
+     * scalar counter or table entry).
+     */
+    u64 onChipBytes() const;
+
+    /** Reset everything (new session / re-key). */
+    void clear();
+
+  private:
+    const std::vector<Vn> &findTable(const std::string &name) const;
+
+    std::map<std::string, Vn> scalars_;
+    std::map<std::string, std::vector<Vn>> tables_;
+};
+
+} // namespace mgx::core
+
+#endif // MGX_CORE_VN_STATE_H

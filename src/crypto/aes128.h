@@ -1,0 +1,56 @@
+/**
+ * @file
+ * AES-128 block cipher. A straightforward, table-free byte-oriented
+ * implementation (SubBytes / ShiftRows / MixColumns / AddRoundKey) that
+ * favors clarity and portability over raw speed; the simulator encrypts
+ * at most a few hundred megabytes in functional-correctness tests.
+ *
+ * Verified against the FIPS-197 appendix vectors in aes128_test.cc.
+ */
+
+#ifndef MGX_CRYPTO_AES128_H
+#define MGX_CRYPTO_AES128_H
+
+#include <array>
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace mgx::crypto {
+
+/** AES block size in bytes. */
+constexpr std::size_t kAesBlockBytes = 16;
+
+/** AES-128 key size in bytes. */
+constexpr std::size_t kAesKeyBytes = 16;
+
+/** A 128-bit block. */
+using Block = std::array<u8, kAesBlockBytes>;
+
+/** A 128-bit key. */
+using Key = std::array<u8, kAesKeyBytes>;
+
+/**
+ * AES-128 with a precomputed key schedule. Construction runs the key
+ * expansion once; encryptBlock is then stateless and const.
+ */
+class Aes128
+{
+  public:
+    /** Expand @p key into the 11 round keys. */
+    explicit Aes128(const Key &key);
+
+    /** Encrypt one 16-byte block (ECB primitive). */
+    Block encryptBlock(const Block &plaintext) const;
+
+    /** Decrypt one 16-byte block (used only by tests; CTR never needs it). */
+    Block decryptBlock(const Block &ciphertext) const;
+
+  private:
+    /// 11 round keys of 16 bytes each.
+    std::array<u8, 176> roundKeys_;
+};
+
+} // namespace mgx::crypto
+
+#endif // MGX_CRYPTO_AES128_H

@@ -1,0 +1,36 @@
+#include "ctr_mode.h"
+
+namespace mgx::crypto {
+
+Block
+makeCounter(Addr addr, Vn vn)
+{
+    Block ctr;
+    for (int i = 0; i < 8; ++i) {
+        ctr[i] = static_cast<u8>(addr >> (56 - 8 * i));
+        ctr[8 + i] = static_cast<u8>(vn >> (56 - 8 * i));
+    }
+    return ctr;
+}
+
+Block
+CtrEngine::keystreamBlock(Addr addr, Vn vn) const
+{
+    return aes_.encryptBlock(makeCounter(addr, vn));
+}
+
+void
+CtrEngine::crypt(Addr addr, Vn vn, std::span<u8> data) const
+{
+    std::size_t off = 0;
+    while (off < data.size()) {
+        Block ks = keystreamBlock(addr + off, vn);
+        std::size_t n = std::min<std::size_t>(kAesBlockBytes,
+                                              data.size() - off);
+        for (std::size_t i = 0; i < n; ++i)
+            data[off + i] ^= ks[i];
+        off += n;
+    }
+}
+
+} // namespace mgx::crypto

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * AES counter-mode encryption with the MGX counter construction.
+ *
+ * The counter block fed to AES is the concatenation of a 64-bit address
+ * field and a 64-bit version number (paper Fig. 6). The top two bits of
+ * the VN field carry the data-class tag (features 00, weights 01,
+ * gradients 10, other classes remapped onto the same 2-bit space per
+ * kernel) so that two data classes sharing a VN value can never produce
+ * the same counter.
+ */
+
+#ifndef MGX_CRYPTO_CTR_MODE_H
+#define MGX_CRYPTO_CTR_MODE_H
+
+#include <cstddef>
+#include <span>
+
+#include "aes128.h"
+#include "common/types.h"
+
+namespace mgx::crypto {
+
+/**
+ * Build the 128-bit counter block from (address, version number).
+ * Big-endian packing: bytes 0..7 hold the address, bytes 8..15 the VN.
+ */
+Block makeCounter(Addr addr, Vn vn);
+
+/**
+ * AES-CTR encryption engine bound to one key.
+ *
+ * A data buffer of N bytes starting at @p addr is treated as a run of
+ * 16-byte AES blocks; block i uses counter makeCounter(addr + 16*i, vn).
+ * Encryption and decryption are the same XOR operation.
+ */
+class CtrEngine
+{
+  public:
+    explicit CtrEngine(const Key &key) : aes_(key) {}
+
+    /**
+     * XOR @p data in place with the keystream for (@p addr, @p vn).
+     * @p data.size() need not be a multiple of 16; the trailing partial
+     * block uses a truncated keystream block.
+     */
+    void crypt(Addr addr, Vn vn, std::span<u8> data) const;
+
+    /** Keystream block for one counter (exposed for tests). */
+    Block keystreamBlock(Addr addr, Vn vn) const;
+
+  private:
+    Aes128 aes_;
+};
+
+} // namespace mgx::crypto
+
+#endif // MGX_CRYPTO_CTR_MODE_H

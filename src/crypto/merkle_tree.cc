@@ -1,0 +1,115 @@
+#include "merkle_tree.h"
+
+#include <cstring>
+
+#include "common/log.h"
+
+namespace mgx::crypto {
+
+MerkleTree::MerkleTree(std::size_t num_leaves, unsigned arity)
+    : arity_(arity)
+{
+    if (arity_ < 2)
+        fatal("MerkleTree arity must be >= 2 (got %u)", arity_);
+    if (num_leaves == 0)
+        fatal("MerkleTree needs at least one leaf");
+
+    // Round the leaf count up to a full arity^depth tree (depth >= 1).
+    depth_ = 1;
+    std::size_t cap = arity_;
+    while (cap < num_leaves) {
+        cap *= arity_;
+        ++depth_;
+    }
+    numLeaves_ = cap;
+
+    levels_.resize(depth_);
+    std::size_t width = numLeaves_;
+    for (unsigned l = 0; l < depth_; ++l) {
+        levels_[l].assign(width, Digest{});
+        width /= arity_;
+    }
+
+    // Initialize all leaves as digests of the empty buffer and build up.
+    Digest empty = sha256({});
+    for (auto &d : levels_[0])
+        d = empty;
+    for (unsigned l = 1; l < depth_; ++l)
+        for (std::size_t i = 0; i < levels_[l].size(); ++i)
+            levels_[l][i] = hashChildren(l - 1, i);
+    root_ = hashChildren(depth_ - 1, 0);
+}
+
+Digest
+MerkleTree::hashChildren(unsigned level, std::size_t index) const
+{
+    std::vector<u8> buf;
+    buf.reserve(arity_ * sizeof(Digest));
+    for (unsigned c = 0; c < arity_; ++c) {
+        const Digest &child = levels_[level][index * arity_ + c];
+        buf.insert(buf.end(), child.begin(), child.end());
+    }
+    return sha256(buf);
+}
+
+void
+MerkleTree::updateLeaf(std::size_t index, std::span<const u8> data)
+{
+    if (index >= numLeaves_)
+        panic("MerkleTree leaf %zu out of range (%zu)", index, numLeaves_);
+    levels_[0][index] = sha256(data);
+    rehashPath(index);
+}
+
+void
+MerkleTree::rehashPath(std::size_t index)
+{
+    std::size_t node = index;
+    for (unsigned l = 1; l < depth_; ++l) {
+        node /= arity_;
+        levels_[l][node] = hashChildren(l - 1, node);
+    }
+    root_ = hashChildren(depth_ - 1, 0);
+}
+
+bool
+MerkleTree::verifyLeaf(std::size_t index, std::span<const u8> data) const
+{
+    if (index >= numLeaves_)
+        panic("MerkleTree leaf %zu out of range (%zu)", index, numLeaves_);
+
+    // Recompute the leaf digest from the (untrusted) data, then check
+    // each stored parent on the path, finishing at the on-chip root.
+    Digest current = sha256(data);
+    std::size_t node = index;
+    for (unsigned l = 0; l < depth_; ++l) {
+        std::size_t parent = node / arity_;
+        std::vector<u8> buf;
+        buf.reserve(arity_ * sizeof(Digest));
+        for (unsigned c = 0; c < arity_; ++c) {
+            std::size_t child = parent * arity_ + c;
+            const Digest &d =
+                (child == node) ? current : levels_[l][child];
+            buf.insert(buf.end(), d.begin(), d.end());
+        }
+        Digest computed = sha256(buf);
+        const Digest &expected =
+            (l + 1 < depth_) ? levels_[l + 1][parent] : root_;
+        if (computed != expected)
+            return false;
+        current = computed;
+        node = parent;
+    }
+    return true;
+}
+
+void
+MerkleTree::tamperNode(unsigned level, std::size_t index)
+{
+    if (level >= depth_ || index >= levels_[level].size())
+        panic("MerkleTree tamper target (%u, %zu) out of range", level,
+              index);
+    levels_[level][index][0] ^= 0xff;
+}
+
+} // namespace mgx::crypto

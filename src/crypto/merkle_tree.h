@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Functional k-ary Merkle (hash) tree over fixed-size leaves.
+ *
+ * The baseline protection scheme stores version numbers in DRAM and
+ * protects their integrity and freshness with a Merkle tree whose root
+ * lives on-chip (paper Fig. 2a). This class provides the functional
+ * model used by SecureMemory and the tests: build, leaf update with
+ * path recomputation, and leaf verification against the root.
+ *
+ * The timing model (protection_engine) never instantiates this class;
+ * it only counts the tree levels touched per access.
+ */
+
+#ifndef MGX_CRYPTO_MERKLE_TREE_H
+#define MGX_CRYPTO_MERKLE_TREE_H
+
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "sha256.h"
+
+namespace mgx::crypto {
+
+/**
+ * k-ary hash tree. Leaves are byte buffers supplied by the caller; every
+ * internal node is the SHA-256 of the concatenation of its children's
+ * digests. The root digest is kept by value (modeling on-chip storage).
+ */
+class MerkleTree
+{
+  public:
+    /**
+     * @param num_leaves  number of leaf slots (rounded up internally to a
+     *                    full k-ary tree)
+     * @param arity       fan-out of each internal node (8 for Intel MEE)
+     */
+    MerkleTree(std::size_t num_leaves, unsigned arity = 8);
+
+    /** Recompute the digest of leaf @p index from @p data and re-hash
+     *  the path up to the root. */
+    void updateLeaf(std::size_t index, std::span<const u8> data);
+
+    /**
+     * Verify leaf @p index against the stored tree and on-chip root.
+     * @return true iff the leaf digest matches @p data and every node on
+     *         the path to the root is consistent.
+     */
+    bool verifyLeaf(std::size_t index, std::span<const u8> data) const;
+
+    /** On-chip root digest. */
+    const Digest &root() const { return root_; }
+
+    /** Number of tree levels above the leaves (the path length). */
+    unsigned depth() const { return depth_; }
+
+    /** Leaf capacity after rounding to a full tree. */
+    std::size_t numLeaves() const { return numLeaves_; }
+
+    /**
+     * Corrupt a stored node digest (test hook emulating an attacker who
+     * rewrites tree nodes in untrusted DRAM). Level 0 is the leaf level.
+     */
+    void tamperNode(unsigned level, std::size_t index);
+
+  private:
+    /** Recompute the internal digest chain for leaf @p index upward. */
+    void rehashPath(std::size_t index);
+
+    /** Hash of the @p arity children of node (level, index). */
+    Digest hashChildren(unsigned level, std::size_t index) const;
+
+    unsigned arity_;
+    unsigned depth_;
+    std::size_t numLeaves_;
+    /// levels_[0] = leaf digests; levels_.back() = children of the root.
+    std::vector<std::vector<Digest>> levels_;
+    Digest root_{};
+};
+
+} // namespace mgx::crypto
+
+#endif // MGX_CRYPTO_MERKLE_TREE_H

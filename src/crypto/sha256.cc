@@ -1,0 +1,112 @@
+#include "sha256.h"
+
+#include <cstring>
+
+#include "common/bitops.h"
+
+namespace mgx::crypto {
+namespace {
+
+constexpr u32 kK[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+};
+
+void
+compress(u32 state[8], const u8 block[64])
+{
+    u32 w[64];
+    for (int i = 0; i < 16; ++i)
+        w[i] = (u32{block[4 * i]} << 24) | (u32{block[4 * i + 1]} << 16) |
+               (u32{block[4 * i + 2]} << 8) | u32{block[4 * i + 3]};
+    for (int i = 16; i < 64; ++i) {
+        u32 s0 = rotr32(w[i - 15], 7) ^ rotr32(w[i - 15], 18) ^
+                 (w[i - 15] >> 3);
+        u32 s1 = rotr32(w[i - 2], 17) ^ rotr32(w[i - 2], 19) ^
+                 (w[i - 2] >> 10);
+        w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+
+    u32 a = state[0], b = state[1], c = state[2], d = state[3];
+    u32 e = state[4], f = state[5], g = state[6], h = state[7];
+    for (int i = 0; i < 64; ++i) {
+        u32 s1 = rotr32(e, 6) ^ rotr32(e, 11) ^ rotr32(e, 25);
+        u32 ch = (e & f) ^ (~e & g);
+        u32 temp1 = h + s1 + ch + kK[i] + w[i];
+        u32 s0 = rotr32(a, 2) ^ rotr32(a, 13) ^ rotr32(a, 22);
+        u32 maj = (a & b) ^ (a & c) ^ (b & c);
+        u32 temp2 = s0 + maj;
+        h = g;
+        g = f;
+        f = e;
+        e = d + temp1;
+        d = c;
+        c = b;
+        b = a;
+        a = temp1 + temp2;
+    }
+    state[0] += a;
+    state[1] += b;
+    state[2] += c;
+    state[3] += d;
+    state[4] += e;
+    state[5] += f;
+    state[6] += g;
+    state[7] += h;
+}
+
+} // namespace
+
+Digest
+sha256(std::span<const u8> data)
+{
+    u32 state[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+                    0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+
+    const std::size_t len = data.size();
+    std::size_t off = 0;
+    while (len - off >= 64) {
+        compress(state, data.data() + off);
+        off += 64;
+    }
+
+    // Final padded block(s).
+    u8 tail[128] = {};
+    std::size_t rem = len - off;
+    if (rem)
+        std::memcpy(tail, data.data() + off, rem);
+    tail[rem] = 0x80;
+    std::size_t tail_len = (rem + 9 <= 64) ? 64 : 128;
+    u64 bitlen = static_cast<u64>(len) * 8;
+    for (int i = 0; i < 8; ++i)
+        tail[tail_len - 8 + i] = static_cast<u8>(bitlen >> (56 - 8 * i));
+    compress(state, tail);
+    if (tail_len == 128)
+        compress(state, tail + 64);
+
+    Digest out;
+    for (int i = 0; i < 8; ++i)
+        for (int b = 0; b < 4; ++b)
+            out[4 * i + b] = static_cast<u8>(state[i] >> (24 - 8 * b));
+    return out;
+}
+
+u64
+digestPrefix64(const Digest &d)
+{
+    u64 v = 0;
+    for (int i = 0; i < 8; ++i)
+        v = (v << 8) | d[i];
+    return v;
+}
+
+} // namespace mgx::crypto

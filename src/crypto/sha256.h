@@ -1,0 +1,29 @@
+/**
+ * @file
+ * SHA-256 (FIPS 180-4), used as the collision-resistant hash for the
+ * baseline scheme's Merkle tree. Verified against the NIST test vectors
+ * in sha256_test.cc.
+ */
+
+#ifndef MGX_CRYPTO_SHA256_H
+#define MGX_CRYPTO_SHA256_H
+
+#include <array>
+#include <span>
+
+#include "common/types.h"
+
+namespace mgx::crypto {
+
+/** A 256-bit digest. */
+using Digest = std::array<u8, 32>;
+
+/** One-shot SHA-256 of @p data. */
+Digest sha256(std::span<const u8> data);
+
+/** Convenience: first 8 bytes of the digest as a big-endian u64. */
+u64 digestPrefix64(const Digest &d);
+
+} // namespace mgx::crypto
+
+#endif // MGX_CRYPTO_SHA256_H

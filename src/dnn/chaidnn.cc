@@ -1,0 +1,63 @@
+#include "chaidnn.h"
+
+#include "common/log.h"
+
+namespace mgx::dnn {
+
+bool
+chaiSupports(const Model &model)
+{
+    for (const Layer &l : model.layers) {
+        switch (l.kind) {
+          case LayerKind::Conv:
+          case LayerKind::Depthwise:
+          case LayerKind::Dense:
+          case LayerKind::Pool:
+          case LayerKind::Eltwise: // fused into producers
+            break;
+          case LayerKind::MatMul:
+          case LayerKind::Embedding:
+            return false;
+        }
+    }
+    return true;
+}
+
+ChaiProgram
+compileForChai(const Model &model, u32 elem_bytes)
+{
+    if (!chaiSupports(model))
+        fatal("model '%s' uses operations outside CHaiDNN's "
+              "Convolution/Deconvolution/Pooling interface",
+              model.name.c_str());
+
+    ChaiProgram program;
+    program.modelName = model.name;
+    u32 slot = 0;
+    for (const Layer &l : model.layers) {
+        if (l.kind == LayerKind::Eltwise)
+            continue; // fused: the producing op writes the merged map
+        ChaiInstruction inst;
+        inst.name = l.name;
+        inst.vnTableIndex = slot++;
+        inst.inputBytes = l.inputElems() * elem_bytes;
+        inst.weightBytes = l.weightElems() * elem_bytes;
+        inst.outputBytes = l.outputElems() * elem_bytes;
+        switch (l.kind) {
+          case LayerKind::Conv:
+          case LayerKind::Depthwise:
+          case LayerKind::Dense: // lowered to 1x1 convolution
+            inst.op = ChaiOp::Convolution;
+            break;
+          case LayerKind::Pool:
+            inst.op = ChaiOp::Pooling;
+            break;
+          default:
+            break;
+        }
+        program.instructions.push_back(std::move(inst));
+    }
+    return program;
+}
+
+} // namespace mgx::dnn

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * CHaiDNN case study (paper §VI-C).
+ *
+ * CHaiDNN is Xilinx's HLS DNN accelerator with a three-operation
+ * interface — Convolution, Deconvolution, Pooling — with activations
+ * fused into the producing operation, so "a deep neural network like
+ * AlexNet can be expressed in less than 20 instructions".
+ *
+ * This module compiles our Model descriptors to that instruction set
+ * and models the MGX retrofit the paper describes: a microcontroller
+ * that keeps an on-chip VN table with one entry per instruction's
+ * output plus two counters (weights and inputs), driving AES-GCM
+ * cores for memory protection.
+ */
+
+#ifndef MGX_DNN_CHAIDNN_H
+#define MGX_DNN_CHAIDNN_H
+
+#include <string>
+#include <vector>
+
+#include "layer.h"
+
+namespace mgx::dnn {
+
+/** CHaiDNN's high-level operation set. */
+enum class ChaiOp : u8 { Convolution, Deconvolution, Pooling };
+
+/** One CHaiDNN instruction (a DNN layer with fused activation). */
+struct ChaiInstruction
+{
+    ChaiOp op = ChaiOp::Convolution;
+    std::string name;
+    u64 inputBytes = 0;
+    u64 weightBytes = 0;
+    u64 outputBytes = 0;
+    bool fusedActivation = true;
+    u32 vnTableIndex = 0; ///< microcontroller VN-table slot
+};
+
+/** The compiled program plus the microcontroller's VN-table layout. */
+struct ChaiProgram
+{
+    std::string modelName;
+    std::vector<ChaiInstruction> instructions;
+
+    /** On-chip VN-table bytes: 8 B per instruction + the VN_W and
+     *  input counters (paper §VI-C). */
+    u64
+    vnTableBytes() const
+    {
+        return (instructions.size() + 2) * 8;
+    }
+};
+
+/**
+ * Compile @p model for CHaiDNN: conv/deconv/pool map directly;
+ * dense layers lower to 1x1 convolutions; eltwise/concat layers fuse
+ * into their producers (they add no instruction, as in CHaiDNN's
+ * fused execution). Models with embeddings or attention matmuls are
+ * rejected — CHaiDNN's interface cannot express them.
+ * @param elem_bytes data width used for the traffic estimates
+ */
+ChaiProgram compileForChai(const Model &model, u32 elem_bytes = 1);
+
+/** True if the model only uses operations CHaiDNN supports. */
+bool chaiSupports(const Model &model);
+
+} // namespace mgx::dnn
+
+#endif // MGX_DNN_CHAIDNN_H

@@ -1,0 +1,129 @@
+#include "layer.h"
+
+#include "common/log.h"
+
+namespace mgx::dnn {
+
+u32
+Layer::outH() const
+{
+    if (kind == LayerKind::Dense || kind == LayerKind::Embedding)
+        return 1;
+    if (kind == LayerKind::MatMul)
+        return 1;
+    if (inH + 2 * pad < kH)
+        panic("layer %s: kernel larger than padded input", name.c_str());
+    return (inH + 2 * pad - kH) / stride + 1;
+}
+
+u32
+Layer::outW() const
+{
+    if (kind == LayerKind::Dense || kind == LayerKind::Embedding)
+        return 1;
+    if (kind == LayerKind::MatMul)
+        return 1;
+    return (inW + 2 * pad - kW) / stride + 1;
+}
+
+u64
+Layer::outputElems() const
+{
+    switch (kind) {
+      case LayerKind::Conv:
+      case LayerKind::Depthwise:
+      case LayerKind::Pool:
+        return static_cast<u64>(outC) * outH() * outW();
+      case LayerKind::Dense:
+        return outC;
+      case LayerKind::MatMul:
+        return static_cast<u64>(mmBatch) * mmM * mmN;
+      case LayerKind::Eltwise:
+        return static_cast<u64>(outC) * inH * inW;
+      case LayerKind::Embedding:
+        return static_cast<u64>(lookupsPerSample) * rowDim;
+    }
+    return 0;
+}
+
+u64
+Layer::inputElems() const
+{
+    switch (kind) {
+      case LayerKind::Conv:
+      case LayerKind::Depthwise:
+      case LayerKind::Pool:
+      case LayerKind::Eltwise:
+        return static_cast<u64>(inC) * inH * inW;
+      case LayerKind::Dense:
+        return inC;
+      case LayerKind::MatMul:
+        return static_cast<u64>(mmBatch) * mmM * mmK;
+      case LayerKind::Embedding:
+        // The gathered rows; the index vector is negligible.
+        return static_cast<u64>(lookupsPerSample) * rowDim;
+    }
+    return 0;
+}
+
+u64
+Layer::weightElems() const
+{
+    switch (kind) {
+      case LayerKind::Conv:
+        return static_cast<u64>(outC) * inC * kH * kW;
+      case LayerKind::Depthwise:
+        return static_cast<u64>(outC) * kH * kW;
+      case LayerKind::Dense:
+        return static_cast<u64>(outC) * inC;
+      case LayerKind::Embedding:
+        return numRows * rowDim; // resident table (read sparsely)
+      case LayerKind::Pool:
+      case LayerKind::Eltwise:
+      case LayerKind::MatMul:
+        return 0;
+    }
+    return 0;
+}
+
+u64
+Layer::macs() const
+{
+    switch (kind) {
+      case LayerKind::Conv:
+        return static_cast<u64>(outC) * outH() * outW() * inC * kH * kW;
+      case LayerKind::Depthwise:
+        return static_cast<u64>(outC) * outH() * outW() * kH * kW;
+      case LayerKind::Dense:
+        return static_cast<u64>(outC) * inC;
+      case LayerKind::MatMul:
+        return static_cast<u64>(mmBatch) * mmM * mmN * mmK;
+      case LayerKind::Pool:
+        return outputElems(); // comparisons, roughly one op per output
+      case LayerKind::Eltwise:
+        return outputElems();
+      case LayerKind::Embedding:
+        return outputElems(); // gather + reduce
+    }
+    return 0;
+}
+
+u64
+Model::weightBytes(u32 elem_bytes) const
+{
+    u64 total = 0;
+    for (const auto &layer : layers)
+        total += layer.weightElems() * elem_bytes;
+    return total;
+}
+
+u64
+Model::totalMacs() const
+{
+    u64 total = 0;
+    for (const auto &layer : layers)
+        total += layer.macs();
+    return total;
+}
+
+} // namespace mgx::dnn

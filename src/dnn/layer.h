@@ -1,0 +1,93 @@
+/**
+ * @file
+ * DNN layer descriptors: the shapes from which the trace generator
+ * derives off-chip traffic and the systolic model derives compute
+ * cycles. Activation / normalization layers are assumed fused into the
+ * producing layer (standard accelerator practice, also what CHaiDNN
+ * and TPU-v1 do), so they add no DRAM traffic.
+ */
+
+#ifndef MGX_DNN_LAYER_H
+#define MGX_DNN_LAYER_H
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mgx::dnn {
+
+/** Layer categories that generate distinct traffic patterns. */
+enum class LayerKind : u8 {
+    Conv,      ///< 2-D convolution (stride/pad aware)
+    Depthwise, ///< depthwise convolution (one filter per channel)
+    Dense,     ///< fully connected
+    MatMul,    ///< activation x activation (attention scores/context)
+    Pool,      ///< max/avg pooling: pure data movement
+    Eltwise,   ///< residual add / concat: reads N inputs, writes one
+    Embedding, ///< table gather (DLRM): random fine-grained reads
+};
+
+/** One layer of a model. */
+struct Layer
+{
+    std::string name;
+    LayerKind kind = LayerKind::Conv;
+
+    // Conv/Pool geometry (input feature map is inC x inH x inW).
+    u32 inC = 0, inH = 0, inW = 0;
+    u32 outC = 0;
+    u32 kH = 1, kW = 1;
+    u32 stride = 1;
+    u32 pad = 0;
+
+    // Dense: inC -> outC (inH = inW = 1).
+    // MatMul: (mmM x mmK) * (mmK x mmN), mmBatch independent products.
+    u32 mmM = 0, mmN = 0, mmK = 0, mmBatch = 1;
+
+    // Embedding: numRows rows of rowDim elements; lookupsPerSample
+    // random rows are gathered per input sample.
+    u64 numRows = 0;
+    u32 rowDim = 0;
+    u32 lookupsPerSample = 1;
+
+    /**
+     * Producer layers whose outputs this layer consumes; -1 denotes the
+     * external model input. Eltwise layers list two or more producers
+     * (the residual pattern of paper Fig. 8).
+     */
+    std::vector<int> inputs{-1};
+
+    // -- derived shapes ----------------------------------------------------
+
+    /** Output feature-map height. */
+    u32 outH() const;
+    /** Output feature-map width. */
+    u32 outW() const;
+
+    /** Elements in one sample's output tensor. */
+    u64 outputElems() const;
+    /** Elements in one sample's input tensor (per listed input). */
+    u64 inputElems() const;
+    /** Weight elements (0 for Pool/Eltwise/MatMul). */
+    u64 weightElems() const;
+    /** Multiply-accumulate count for one sample. */
+    u64 macs() const;
+};
+
+/** A whole network plus its default batch size. */
+struct Model
+{
+    std::string name;
+    std::vector<Layer> layers;
+    u32 defaultBatch = 8;
+
+    /** Total weight bytes at @p elem_bytes per element. */
+    u64 weightBytes(u32 elem_bytes) const;
+    /** Total MACs for one sample. */
+    u64 totalMacs() const;
+};
+
+} // namespace mgx::dnn
+
+#endif // MGX_DNN_LAYER_H

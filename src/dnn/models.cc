@@ -1,0 +1,435 @@
+#include "models.h"
+
+#include <tuple>
+
+#include "common/log.h"
+
+namespace mgx::dnn {
+namespace {
+
+/** Running builder state: tracks the previous layer's output shape. */
+class Builder
+{
+  public:
+    explicit Builder(std::string model_name)
+    {
+        model_.name = std::move(model_name);
+    }
+
+    /** Index of the most recently added layer. */
+    int last() const { return static_cast<int>(model_.layers.size()) - 1; }
+
+    int
+    conv(const std::string &name, u32 in_c, u32 in_h, u32 in_w, u32 out_c,
+         u32 k, u32 stride, u32 pad, std::vector<int> inputs)
+    {
+        Layer l;
+        l.name = name;
+        l.kind = LayerKind::Conv;
+        l.inC = in_c;
+        l.inH = in_h;
+        l.inW = in_w;
+        l.outC = out_c;
+        l.kH = l.kW = k;
+        l.stride = stride;
+        l.pad = pad;
+        l.inputs = std::move(inputs);
+        model_.layers.push_back(l);
+        return last();
+    }
+
+    /** Conv whose input is the previous layer's output shape. */
+    int
+    convAuto(const std::string &name, u32 out_c, u32 k, u32 stride,
+             u32 pad, int input = -2)
+    {
+        auto [c, h, w] = outShape(input);
+        return conv(name, c, h, w, out_c, k, stride, pad,
+                    {input == -2 ? last() : input});
+    }
+
+    int
+    pool(const std::string &name, u32 k, u32 stride, int input = -2)
+    {
+        auto [c, h, w] = outShape(input);
+        Layer l;
+        l.name = name;
+        l.kind = LayerKind::Pool;
+        l.inC = c;
+        l.inH = h;
+        l.inW = w;
+        l.outC = c;
+        l.kH = l.kW = k;
+        l.stride = stride;
+        l.inputs = {input == -2 ? last() : input};
+        model_.layers.push_back(l);
+        return last();
+    }
+
+    int
+    dense(const std::string &name, u32 in_f, u32 out_f, int input = -2)
+    {
+        Layer l;
+        l.name = name;
+        l.kind = LayerKind::Dense;
+        l.inC = in_f;
+        l.outC = out_f;
+        l.inH = l.inW = 1;
+        l.inputs = {input == -2 ? last() : input};
+        model_.layers.push_back(l);
+        return last();
+    }
+
+    int
+    eltwise(const std::string &name, std::vector<int> inputs)
+    {
+        auto [c, h, w] = outShape(inputs.front());
+        Layer l;
+        l.name = name;
+        l.kind = LayerKind::Eltwise;
+        l.inC = c;
+        l.inH = h;
+        l.inW = w;
+        l.outC = c;
+        l.inputs = std::move(inputs);
+        model_.layers.push_back(l);
+        return last();
+    }
+
+    /** Depthwise conv taking the previous layer's output shape. */
+    int
+    depthwise(const std::string &name, u32 k, u32 stride, u32 pad,
+              int input = -2)
+    {
+        auto [c, h, w] = outShape(input);
+        Layer l;
+        l.name = name;
+        l.kind = LayerKind::Depthwise;
+        l.inC = c;
+        l.inH = h;
+        l.inW = w;
+        l.outC = c;
+        l.kH = l.kW = k;
+        l.stride = stride;
+        l.pad = pad;
+        l.inputs = {input == -2 ? last() : input};
+        model_.layers.push_back(l);
+        return last();
+    }
+
+    /** Channel-wise concatenation of branches (Inception). */
+    int
+    concat(const std::string &name, std::vector<int> inputs)
+    {
+        int idx = eltwise(name, inputs);
+        Layer &l = model_.layers[static_cast<std::size_t>(idx)];
+        u32 total_c = 0;
+        for (int in : inputs)
+            total_c +=
+                model_.layers[static_cast<std::size_t>(in)].outC;
+        l.inC = l.outC = total_c;
+        return idx;
+    }
+
+    int
+    matmul(const std::string &name, u32 batch, u32 m, u32 k, u32 n,
+           std::vector<int> inputs)
+    {
+        Layer l;
+        l.name = name;
+        l.kind = LayerKind::MatMul;
+        l.mmBatch = batch;
+        l.mmM = m;
+        l.mmK = k;
+        l.mmN = n;
+        l.inputs = std::move(inputs);
+        model_.layers.push_back(l);
+        return last();
+    }
+
+    int
+    embedding(const std::string &name, u64 rows, u32 dim, u32 lookups)
+    {
+        Layer l;
+        l.name = name;
+        l.kind = LayerKind::Embedding;
+        l.numRows = rows;
+        l.rowDim = dim;
+        l.lookupsPerSample = lookups;
+        l.inputs = {-1};
+        model_.layers.push_back(l);
+        return last();
+    }
+
+    Model
+    finish(u32 batch)
+    {
+        model_.defaultBatch = batch;
+        return std::move(model_);
+    }
+
+  private:
+    /** (channels, height, width) produced by layer @p idx (-2 = last). */
+    std::tuple<u32, u32, u32>
+    outShape(int idx) const
+    {
+        const int i = idx == -2 ? last() : idx;
+        if (i < 0)
+            panic("builder: no producer for auto-shaped layer");
+        const Layer &l = model_.layers[static_cast<std::size_t>(i)];
+        return {l.outC, l.outH(), l.outW()};
+    }
+
+    Model model_;
+};
+
+/** Bottleneck residual block (ResNet-50), returns the output index. */
+int
+bottleneck(Builder &b, const std::string &name, int input, u32 in_c,
+           u32 mid_c, u32 out_c, u32 in_hw, u32 stride)
+{
+    const u32 out_hw = in_hw / stride;
+    int c1 = b.conv(name + ".conv1", in_c, in_hw, in_hw, mid_c, 1, 1, 0,
+                    {input});
+    int c2 = b.conv(name + ".conv2", mid_c, in_hw, in_hw, mid_c, 3,
+                    stride, 1, {c1});
+    int c3 = b.conv(name + ".conv3", mid_c, out_hw, out_hw, out_c, 1, 1,
+                    0, {c2});
+    int skip = input;
+    if (stride != 1 || in_c != out_c) {
+        skip = b.conv(name + ".down", in_c, in_hw, in_hw, out_c, 1,
+                      stride, 0, {input});
+    }
+    return b.eltwise(name + ".add", {c3, skip});
+}
+
+/** Inception module: four parallel branches concatenated. */
+int
+inception(Builder &b, const std::string &name, int input, u32 in_c,
+          u32 hw, u32 c1, u32 c3r, u32 c3, u32 c5r, u32 c5, u32 cp)
+{
+    int b1 = b.conv(name + ".1x1", in_c, hw, hw, c1, 1, 1, 0, {input});
+    int b2r = b.conv(name + ".3x3r", in_c, hw, hw, c3r, 1, 1, 0, {input});
+    int b2 = b.conv(name + ".3x3", c3r, hw, hw, c3, 3, 1, 1, {b2r});
+    int b3r = b.conv(name + ".5x5r", in_c, hw, hw, c5r, 1, 1, 0, {input});
+    int b3 = b.conv(name + ".5x5", c5r, hw, hw, c5, 5, 1, 2, {b3r});
+    int bp = b.pool(name + ".pool", 3, 1, input);
+    int bpp = b.conv(name + ".poolproj", in_c, hw, hw, cp, 1, 1, 0, {bp});
+    // Concatenation is modeled as a gather of the branches that writes
+    // the combined feature map once.
+    return b.concat(name + ".concat", {b1, b2, b3, bpp});
+}
+
+} // namespace
+
+Model
+alexnet()
+{
+    Builder b("AlexNet");
+    b.conv("conv1", 3, 227, 227, 96, 11, 4, 0, {-1});
+    b.pool("pool1", 3, 2);
+    b.convAuto("conv2", 256, 5, 1, 2);
+    b.pool("pool2", 3, 2);
+    b.convAuto("conv3", 384, 3, 1, 1);
+    b.convAuto("conv4", 384, 3, 1, 1);
+    b.convAuto("conv5", 256, 3, 1, 1);
+    b.pool("pool5", 3, 2);
+    b.dense("fc6", 9216, 4096);
+    b.dense("fc7", 4096, 4096);
+    b.dense("fc8", 4096, 1000);
+    return b.finish(8);
+}
+
+Model
+vgg16()
+{
+    Builder b("VGG");
+    b.conv("conv1_1", 3, 224, 224, 64, 3, 1, 1, {-1});
+    b.convAuto("conv1_2", 64, 3, 1, 1);
+    b.pool("pool1", 2, 2);
+    b.convAuto("conv2_1", 128, 3, 1, 1);
+    b.convAuto("conv2_2", 128, 3, 1, 1);
+    b.pool("pool2", 2, 2);
+    b.convAuto("conv3_1", 256, 3, 1, 1);
+    b.convAuto("conv3_2", 256, 3, 1, 1);
+    b.convAuto("conv3_3", 256, 3, 1, 1);
+    b.pool("pool3", 2, 2);
+    b.convAuto("conv4_1", 512, 3, 1, 1);
+    b.convAuto("conv4_2", 512, 3, 1, 1);
+    b.convAuto("conv4_3", 512, 3, 1, 1);
+    b.pool("pool4", 2, 2);
+    b.convAuto("conv5_1", 512, 3, 1, 1);
+    b.convAuto("conv5_2", 512, 3, 1, 1);
+    b.convAuto("conv5_3", 512, 3, 1, 1);
+    b.pool("pool5", 2, 2);
+    b.dense("fc6", 25088, 4096);
+    b.dense("fc7", 4096, 4096);
+    b.dense("fc8", 4096, 1000);
+    return b.finish(8);
+}
+
+Model
+googlenet()
+{
+    Builder b("GoogleNet");
+    b.conv("conv1", 3, 224, 224, 64, 7, 2, 3, {-1});
+    b.pool("pool1", 3, 2);
+    b.convAuto("conv2r", 64, 1, 1, 0);
+    b.convAuto("conv2", 192, 3, 1, 1);
+    b.pool("pool2", 3, 2);
+    int x = b.last();
+    x = inception(b, "3a", x, 192, 28, 64, 96, 128, 16, 32, 32);
+    x = inception(b, "3b", x, 256, 28, 128, 128, 192, 32, 96, 64);
+    x = b.pool("pool3", 3, 2, x);
+    x = inception(b, "4a", x, 480, 14, 192, 96, 208, 16, 48, 64);
+    x = inception(b, "4b", x, 512, 14, 160, 112, 224, 24, 64, 64);
+    x = inception(b, "4c", x, 512, 14, 128, 128, 256, 24, 64, 64);
+    x = inception(b, "4d", x, 512, 14, 112, 144, 288, 32, 64, 64);
+    x = inception(b, "4e", x, 528, 14, 256, 160, 320, 32, 128, 128);
+    x = b.pool("pool4", 3, 2, x);
+    x = inception(b, "5a", x, 832, 7, 256, 160, 320, 32, 128, 128);
+    x = inception(b, "5b", x, 832, 7, 384, 192, 384, 48, 128, 128);
+    x = b.pool("pool5", 7, 1, x);
+    b.dense("fc", 1024, 1000, x);
+    return b.finish(8);
+}
+
+Model
+resnet50()
+{
+    Builder b("ResNet");
+    b.conv("conv1", 3, 224, 224, 64, 7, 2, 3, {-1});
+    int x = b.pool("pool1", 3, 2);
+
+    struct Stage { u32 blocks, mid, out, hw, stride; };
+    const Stage stages[] = {
+        {3, 64, 256, 56, 1},
+        {4, 128, 512, 56, 2},
+        {6, 256, 1024, 28, 2},
+        {3, 512, 2048, 14, 2},
+    };
+    u32 in_c = 64;
+    for (unsigned s = 0; s < 4; ++s) {
+        const Stage &st = stages[s];
+        u32 hw = st.hw;
+        for (u32 blk = 0; blk < st.blocks; ++blk) {
+            const u32 stride = blk == 0 ? st.stride : 1;
+            const std::string name =
+                "res" + std::to_string(s + 2) + "." + std::to_string(blk);
+            x = bottleneck(b, name, x, in_c, st.mid, st.out, hw, stride);
+            if (blk == 0)
+                hw /= st.stride;
+            in_c = st.out;
+        }
+    }
+    x = b.pool("avgpool", 7, 1, x);
+    b.dense("fc", 2048, 1000, x);
+    return b.finish(8);
+}
+
+Model
+mobilenetV1()
+{
+    Builder b("MobileNet");
+    b.conv("conv1", 3, 224, 224, 32, 3, 2, 1, {-1});
+    // 13 depthwise-separable blocks (MobileNet-v1 geometry).
+    struct Block { u32 out; u32 stride; };
+    const Block blocks[] = {{64, 1},  {128, 2}, {128, 1}, {256, 2},
+                            {256, 1}, {512, 2}, {512, 1}, {512, 1},
+                            {512, 1}, {512, 1}, {512, 1}, {1024, 2},
+                            {1024, 1}};
+    int i = 0;
+    for (const Block &blk : blocks) {
+        const std::string p = "dw" + std::to_string(++i);
+        b.depthwise(p + ".dw", 3, blk.stride, 1);
+        b.convAuto(p + ".pw", blk.out, 1, 1, 0);
+    }
+    b.pool("avgpool", 7, 1);
+    b.dense("fc", 1024, 1000);
+    return b.finish(8);
+}
+
+Model
+bertBase(u32 seq_len)
+{
+    constexpr u32 kHidden = 768;
+    constexpr u32 kHeads = 12;
+    constexpr u32 kHeadDim = kHidden / kHeads;
+    constexpr u32 kFfn = 3072;
+
+    Builder b("BERT");
+    // Token + position embeddings: one row gather per token.
+    int x = b.embedding("embed", 30522, kHidden, seq_len);
+    for (u32 l = 0; l < 12; ++l) {
+        const std::string p = "enc" + std::to_string(l);
+        // Token-wise dense layers as 1x1 convs over the sequence dim.
+        int qkv = b.conv(p + ".qkv", kHidden, seq_len, 1, 3 * kHidden, 1,
+                         1, 0, {x});
+        int scores = b.matmul(p + ".scores", kHeads, seq_len, kHeadDim,
+                              seq_len, {qkv});
+        int ctx = b.matmul(p + ".context", kHeads, seq_len, seq_len,
+                           kHeadDim, {scores, qkv});
+        int proj = b.conv(p + ".proj", kHidden, seq_len, 1, kHidden, 1, 1,
+                          0, {ctx});
+        int add1 = b.eltwise(p + ".add1", {proj, x});
+        int ff1 = b.conv(p + ".ffn1", kHidden, seq_len, 1, kFfn, 1, 1, 0,
+                         {add1});
+        int ff2 = b.conv(p + ".ffn2", kFfn, seq_len, 1, kHidden, 1, 1, 0,
+                         {ff1});
+        x = b.eltwise(p + ".add2", {ff2, add1});
+    }
+    b.dense("pooler", kHidden, kHidden, x);
+    return b.finish(8);
+}
+
+Model
+dlrm(u64 rows_per_table, u32 row_dim)
+{
+    Builder b("DLRM");
+    // Bottom MLP over 13 dense features (MLPerf DLRM geometry).
+    b.dense("bot0", 13, 512);
+    b.dense("bot1", 512, 256);
+    b.dense("bot2", 256, 128);
+    // 26 sparse-feature embedding tables, one lookup each.
+    for (int t = 0; t < 26; ++t)
+        b.embedding("emb" + std::to_string(t), rows_per_table, row_dim,
+                    1);
+    // Pairwise feature interaction: 27 vectors of row_dim.
+    b.matmul("interact", 1, 27, row_dim, 27, {b.last()});
+    // Top MLP over the 27*26/2 interaction terms + dense features.
+    b.dense("top0", 479, 1024);
+    b.dense("top1", 1024, 1024);
+    b.dense("top2", 1024, 512);
+    b.dense("top3", 512, 256);
+    b.dense("top4", 256, 1);
+    return b.finish(128);
+}
+
+std::vector<Model>
+paperModels()
+{
+    return {vgg16(),   alexnet(), googlenet(),
+            resnet50(), bertBase(), dlrm()};
+}
+
+Model
+modelByName(const std::string &name)
+{
+    if (name == "VGG")
+        return vgg16();
+    if (name == "AlexNet")
+        return alexnet();
+    if (name == "GoogleNet")
+        return googlenet();
+    if (name == "ResNet")
+        return resnet50();
+    if (name == "BERT")
+        return bertBase();
+    if (name == "DLRM")
+        return dlrm();
+    if (name == "MobileNet")
+        return mobilenetV1();
+    fatal("unknown model '%s'", name.c_str());
+}
+
+} // namespace mgx::dnn

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The benchmark model zoo (paper §VI-A): AlexNet, VGG-16, GoogLeNet,
+ * ResNet-50 for image classification, BERT-base for language
+ * pretraining, and DLRM for personalized recommendation.
+ *
+ * Token-wise dense layers of BERT are expressed as 1x1 convolutions
+ * over the sequence dimension, which yields identical MAC counts,
+ * weight footprints and feature shapes.
+ */
+
+#ifndef MGX_DNN_MODELS_H
+#define MGX_DNN_MODELS_H
+
+#include "layer.h"
+
+namespace mgx::dnn {
+
+/** AlexNet (227x227 input). */
+Model alexnet();
+
+/** VGG-16 (224x224 input). */
+Model vgg16();
+
+/** GoogLeNet / Inception-v1 (224x224 input). */
+Model googlenet();
+
+/** ResNet-50 (224x224 input, bottleneck residual blocks). */
+Model resnet50();
+
+/** MobileNet-v1 (depthwise-separable convolutions; paper ref [21]). */
+Model mobilenetV1();
+
+/** BERT-base encoder, @p seq_len tokens (12 layers, hidden 768). */
+Model bertBase(u32 seq_len = 512);
+
+/** DLRM-style recommender: MLPs + 26 embedding tables. */
+Model dlrm(u64 rows_per_table = 1u << 20, u32 row_dim = 64);
+
+/** All six benchmark models keyed by the paper's display names. */
+std::vector<Model> paperModels();
+
+/** Look up one of the paper models by name ("VGG", "AlexNet", ...). */
+Model modelByName(const std::string &name);
+
+} // namespace mgx::dnn
+
+#endif // MGX_DNN_MODELS_H

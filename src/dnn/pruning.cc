@@ -1,0 +1,80 @@
+#include "pruning.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+
+namespace mgx::dnn {
+
+u64
+compressedBytes(u64 rows, u64 cols, double density, u32 elem_bytes,
+                SparseFormat format)
+{
+    const u64 total = rows * cols;
+    const u64 nnz = static_cast<u64>(
+        std::ceil(static_cast<double>(total) * density));
+    switch (format) {
+      case SparseFormat::CSR:
+        // values + 2 B column index per nnz + 4 B row pointer per row.
+        return nnz * elem_bytes + nnz * 2 + rows * 4;
+      case SparseFormat::CSC:
+        return nnz * elem_bytes + nnz * 2 + cols * 4;
+      case SparseFormat::RLC:
+        // value + 4-bit run length per nnz (packed two per byte).
+        return nnz * elem_bytes + (nnz + 1) / 2;
+    }
+    return total * elem_bytes;
+}
+
+double
+effectiveDensity(u64 rows, u64 cols, double value_density, u32 elem_bytes,
+                 SparseFormat format)
+{
+    const double dense =
+        static_cast<double>(rows * cols) * elem_bytes;
+    const double stored = static_cast<double>(
+        compressedBytes(rows, cols, value_density, elem_bytes, format));
+    return std::min(1.0, stored / dense);
+}
+
+Model
+staticChannelPrune(const Model &model, double keep)
+{
+    if (keep <= 0.0 || keep > 1.0)
+        fatal("channel keep ratio must be in (0, 1]");
+    Model pruned = model;
+    pruned.name = model.name + "-pruned";
+    auto scale = [keep](u32 c) {
+        return std::max<u32>(
+            1, static_cast<u32>(std::lround(c * keep)));
+    };
+    for (std::size_t i = 0; i < pruned.layers.size(); ++i) {
+        Layer &l = pruned.layers[i];
+        if (l.kind != LayerKind::Conv)
+            continue;
+        // Keep the stem's input channels (images stay 3-channel).
+        bool external = false;
+        for (int p : l.inputs)
+            external |= p < 0;
+        if (!external)
+            l.inC = scale(l.inC);
+        l.outC = scale(l.outC);
+    }
+    // Propagate to dependent pool/eltwise shapes.
+    for (Layer &l : pruned.layers) {
+        if (l.kind == LayerKind::Pool || l.kind == LayerKind::Eltwise) {
+            for (int p : l.inputs) {
+                if (p >= 0) {
+                    l.inC = pruned.layers[static_cast<std::size_t>(p)]
+                                .outC;
+                    l.outC = l.inC;
+                    break;
+                }
+            }
+        }
+    }
+    return pruned;
+}
+
+} // namespace mgx::dnn

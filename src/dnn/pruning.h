@@ -1,0 +1,50 @@
+/**
+ * @file
+ * DNN pruning support (paper §VII-B).
+ *
+ * Static pruning simply produces a smaller network (handled by editing
+ * the Model). Dynamic pruning skips input-dependent fractions of the
+ * feature maps at run time; MGX remains secure because skipped VNs are
+ * never reused — the unpruned features are written and later read with
+ * the same shared VN_F. This header provides compressed-sparse-format
+ * size models (CSR / CSC / RLC) used to pick realistic densities, and
+ * a helper that applies dynamic pruning to a kernel.
+ */
+
+#ifndef MGX_DNN_PRUNING_H
+#define MGX_DNN_PRUNING_H
+
+#include "dnn_kernel.h"
+
+namespace mgx::dnn {
+
+/** Sparse-feature compression formats (paper cites all three). */
+enum class SparseFormat { CSR, CSC, RLC };
+
+/**
+ * Bytes needed to store a @p rows x @p cols feature map with
+ * @p density non-zeros at @p elem_bytes per value in @p format.
+ * CSR/CSC carry one index per non-zero plus a pointer per row/column;
+ * RLC carries a run header per non-zero (4-bit run length amortized).
+ */
+u64 compressedBytes(u64 rows, u64 cols, double density, u32 elem_bytes,
+                    SparseFormat format);
+
+/**
+ * Effective feature density (stored bytes / dense bytes) of a map with
+ * @p value_density non-zeros under @p format — what the trace
+ * generator's setFeatureDensity() expects.
+ */
+double effectiveDensity(u64 rows, u64 cols, double value_density,
+                        u32 elem_bytes, SparseFormat format);
+
+/**
+ * Channel-pruned variant of @p model: every conv layer's output
+ * channels (and the next layer's input channels) scaled by @p keep.
+ * Models static structured pruning.
+ */
+Model staticChannelPrune(const Model &model, double keep);
+
+} // namespace mgx::dnn
+
+#endif // MGX_DNN_PRUNING_H

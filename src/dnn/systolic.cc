@@ -1,0 +1,85 @@
+#include "systolic.h"
+
+#include "common/bitops.h"
+
+namespace mgx::dnn {
+
+DnnAccelConfig
+cloudAccel()
+{
+    return {"Cloud", 256, 256, 24ull << 20, 700.0, 4, 1};
+}
+
+DnnAccelConfig
+edgeAccel()
+{
+    return {"Edge", 32, 32, 4608ull << 10 /* 4.5 MB */, 900.0, 1, 1};
+}
+
+namespace {
+
+/**
+ * GEMM cycles for a P x Co output with a K-deep reduction under the
+ * configured dataflow (SCALE-Sim's analytical forms):
+ *
+ *  - OS: spatial (P, Co), temporal K; each tile pays K + array fill.
+ *  - WS: spatial (K, Co), temporal P; each weight tile is loaded
+ *    (peRows cycles) and then P activations stream through.
+ *  - IS: symmetric to WS with inputs pinned: spatial (K, P),
+ *    temporal Co.
+ */
+Cycles
+gemmCycles(u64 p, u64 co, u64 k, const DnnAccelConfig &cfg)
+{
+    const u64 fill = cfg.peRows + cfg.peCols - 2;
+    switch (cfg.dataflow) {
+      case Dataflow::OutputStationary: {
+        const u64 row_tiles = divCeil(p, cfg.peRows);
+        const u64 col_tiles = divCeil(co, cfg.peCols);
+        return row_tiles * col_tiles * (k + fill);
+      }
+      case Dataflow::WeightStationary: {
+        const u64 k_tiles = divCeil(k, cfg.peRows);
+        const u64 col_tiles = divCeil(co, cfg.peCols);
+        return k_tiles * col_tiles * (cfg.peRows + p + fill);
+      }
+      case Dataflow::InputStationary: {
+        const u64 k_tiles = divCeil(k, cfg.peRows);
+        const u64 row_tiles = divCeil(p, cfg.peCols);
+        return k_tiles * row_tiles * (cfg.peRows + co + fill);
+      }
+    }
+    return 0;
+}
+
+} // namespace
+
+Cycles
+layerComputeCycles(const Layer &l, u32 batch, const DnnAccelConfig &cfg)
+{
+    switch (l.kind) {
+      case LayerKind::Conv:
+        return gemmCycles(static_cast<u64>(batch) * l.outH() * l.outW(),
+                          l.outC,
+                          static_cast<u64>(l.inC) * l.kH * l.kW, cfg);
+      case LayerKind::Depthwise:
+        // One filter per channel: no channel reduction, so the array
+        // maps output pixels x channels with K = kH*kW only.
+        return gemmCycles(static_cast<u64>(batch) * l.outH() * l.outW(),
+                          l.outC, static_cast<u64>(l.kH) * l.kW, cfg);
+      case LayerKind::Dense:
+        return gemmCycles(batch, l.outC, l.inC, cfg);
+      case LayerKind::MatMul:
+        return gemmCycles(static_cast<u64>(batch) * l.mmBatch * l.mmM,
+                          l.mmN, l.mmK, cfg);
+      case LayerKind::Pool:
+      case LayerKind::Eltwise:
+      case LayerKind::Embedding:
+        // Vector unit, one element per column per cycle.
+        return divCeil(static_cast<u64>(batch) * l.outputElems(),
+                       cfg.peCols);
+    }
+    return 0;
+}
+
+} // namespace mgx::dnn

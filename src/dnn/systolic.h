@@ -1,0 +1,59 @@
+/**
+ * @file
+ * SCALE-Sim-like compute-cycle model of a systolic DNN accelerator.
+ *
+ * Output-stationary mapping: output pixels spread over PE rows, output
+ * channels over PE columns, with the reduction dimension streamed
+ * through. Each spatial tile pays the pipeline fill (R + C - 2) on top
+ * of its K reduction steps, reproducing SCALE-Sim's utilization
+ * behaviour for small layers. Vector-ish layers (pool, eltwise,
+ * embedding reduce) run on a column-wide vector unit.
+ */
+
+#ifndef MGX_DNN_SYSTOLIC_H
+#define MGX_DNN_SYSTOLIC_H
+
+#include "common/types.h"
+#include "layer.h"
+
+namespace mgx::dnn {
+
+/**
+ * Systolic-array dataflow (SCALE-Sim's three mappings). The choice
+ * changes which operand stays pinned in the PEs and therefore the
+ * pipeline-fill structure of the compute-cycle model; traffic shapes
+ * are handled by the trace generator's tiling and are dataflow-
+ * agnostic at the granularity MGX cares about.
+ */
+enum class Dataflow : u8 {
+    OutputStationary, ///< outputs accumulate in place (default)
+    WeightStationary, ///< weights pinned; inputs stream through
+    InputStationary,  ///< inputs pinned; weights stream through
+};
+
+/** Accelerator configuration (paper §VI-A, Cloud and Edge). */
+struct DnnAccelConfig
+{
+    std::string name = "Cloud";
+    u32 peRows = 256;
+    u32 peCols = 256;
+    u64 sramBytes = 24ull << 20;
+    double clockMhz = 700.0;
+    u32 dramChannels = 4;
+    u32 elemBytes = 1; ///< int8 inference by default
+    Dataflow dataflow = Dataflow::OutputStationary;
+};
+
+/** TPU-v1-like configuration: 64k PEs, 24 MB SRAM, 700 MHz, 4 ch. */
+DnnAccelConfig cloudAccel();
+
+/** Samsung-NPU-like configuration: 1k PEs, 4.5 MB SRAM, 900 MHz, 1 ch. */
+DnnAccelConfig edgeAccel();
+
+/** Compute cycles for layer @p l at batch @p batch on @p cfg. */
+Cycles layerComputeCycles(const Layer &l, u32 batch,
+                          const DnnAccelConfig &cfg);
+
+} // namespace mgx::dnn
+
+#endif // MGX_DNN_SYSTOLIC_H

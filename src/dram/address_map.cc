@@ -1,0 +1,44 @@
+#include "address_map.h"
+
+#include "common/log.h"
+
+namespace mgx::dram {
+
+AddressMap::AddressMap(const Ddr4Config &cfg)
+{
+    blockBytes_ = cfg.accessBytes();
+    if (!isPow2(blockBytes_) || !isPow2(cfg.channels) ||
+        !isPow2(cfg.banksPerRank) || !isPow2(cfg.ranksPerChannel) ||
+        !isPow2(cfg.rowBytes)) {
+        fatal("DRAM organization values must be powers of two");
+    }
+    blockBits_ = log2i(blockBytes_);
+    channelBits_ = log2i(cfg.channels);
+    blocksPerRow_ = cfg.rowBytes / blockBytes_;
+    columnBits_ = log2i(blocksPerRow_);
+    bankBits_ = log2i(cfg.banksPerRank);
+    rankBits_ = log2i(cfg.ranksPerChannel);
+    rowMask_ = cfg.rowsPerBank - 1;
+    channels_ = cfg.channels;
+    banks_ = cfg.banksPerRank;
+    ranks_ = cfg.ranksPerChannel;
+}
+
+Coord
+AddressMap::decode(Addr addr) const
+{
+    u64 block = addr >> blockBits_;
+    Coord c;
+    c.channel = static_cast<u32>(bits(block, 0, channelBits_));
+    block >>= channelBits_;
+    c.column = static_cast<u32>(bits(block, 0, columnBits_));
+    block >>= columnBits_;
+    c.bank = static_cast<u32>(bits(block, 0, bankBits_));
+    block >>= bankBits_;
+    c.rank = static_cast<u32>(bits(block, 0, rankBits_));
+    block >>= rankBits_;
+    c.row = static_cast<u32>(block) & rowMask_;
+    return c;
+}
+
+} // namespace mgx::dram

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Physical-address to device-coordinate mapping.
+ *
+ * Uses the row:rank:bank:column-high:channel:column-low(block) order,
+ * which interleaves consecutive 64-byte blocks across channels and then
+ * across column space within a row, so streaming accesses hit open rows
+ * on all channels — the mapping Ramulator calls RoBaRaCoCh-style
+ * channel interleaving.
+ */
+
+#ifndef MGX_DRAM_ADDRESS_MAP_H
+#define MGX_DRAM_ADDRESS_MAP_H
+
+#include "common/bitops.h"
+#include "ddr4_timing.h"
+#include "request.h"
+
+namespace mgx::dram {
+
+/** Splits byte addresses into (channel, rank, bank, row, column). */
+class AddressMap
+{
+  public:
+    explicit AddressMap(const Ddr4Config &cfg);
+
+    /** Decode @p addr (any byte address; aligned down to a block). */
+    Coord decode(Addr addr) const;
+
+    /** Size of one interleaved block (one column access). */
+    u32 blockBytes() const { return blockBytes_; }
+
+  private:
+    u32 blockBytes_;
+    u32 blockBits_;
+    u32 channelBits_;
+    u32 columnBits_; ///< bits of column-high (blocks within a row)
+    u32 bankBits_;
+    u32 rankBits_;
+    u32 rowMask_;
+    u32 channels_;
+    u32 banks_;
+    u32 ranks_;
+    u32 blocksPerRow_;
+};
+
+} // namespace mgx::dram
+
+#endif // MGX_DRAM_ADDRESS_MAP_H

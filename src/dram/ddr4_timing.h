@@ -1,0 +1,73 @@
+/**
+ * @file
+ * DDR4 timing and organization parameters.
+ *
+ * All timing values are expressed in memory-controller clock cycles
+ * (for DDR4-2400 the controller clock is 1200 MHz, i.e. one cycle per
+ * two data-bus transfers). Defaults follow the DDR4-2400R speed grade
+ * (CL-nRCD-nRP = 16-16-16) that the paper's Ramulator configuration
+ * uses.
+ */
+
+#ifndef MGX_DRAM_DDR4_TIMING_H
+#define MGX_DRAM_DDR4_TIMING_H
+
+#include "common/types.h"
+
+namespace mgx::dram {
+
+/** Organization and timing of one DDR4 channel. */
+struct Ddr4Config
+{
+    // -- organization ----------------------------------------------------
+    u32 channels = 1;        ///< number of independent channels
+    u32 ranksPerChannel = 1; ///< ranks sharing the channel bus
+    u32 banksPerRank = 16;   ///< 4 bank groups x 4 banks
+    u32 rowsPerBank = 32768;
+    u32 rowBytes = 8192;     ///< row-buffer (page) size, 8 KB for x8 DIMM
+    u32 busBytes = 8;        ///< 64-bit data bus
+    u32 burstLength = 8;     ///< BL8: one column access moves 64 bytes
+
+    // -- timing (controller cycles @ 1200 MHz) ----------------------------
+    u32 tCK_ps = 833;  ///< controller clock period in picoseconds
+    u32 tRCD = 16;     ///< activate to column command
+    u32 tRP = 16;      ///< precharge latency
+    u32 tCL = 16;      ///< CAS (read) latency
+    u32 tCWL = 12;     ///< CAS write latency
+    u32 tRAS = 39;     ///< activate to precharge minimum
+    u32 tWR = 18;      ///< write recovery
+    u32 tRTP = 9;      ///< read to precharge
+    u32 tCCD = 6;      ///< column to column (same bank group, tCCD_L)
+    u32 tRRD = 6;      ///< activate to activate, different banks
+    u32 tFAW = 26;     ///< four-activate window
+    u32 tRFC = 420;    ///< refresh cycle time (8 Gb die)
+    u32 tREFI = 9360;  ///< average refresh interval (7.8 us)
+    u32 tRTW = 8;      ///< read-to-write bus turnaround
+    u32 tWTR = 9;      ///< write-to-read turnaround (tWTR_L)
+
+    /** Data-bus occupancy of one burst, in controller cycles. */
+    u32 burstCycles() const { return burstLength / 2; }
+
+    /** Bytes moved by one column access. */
+    u32 accessBytes() const { return busBytes * burstLength; }
+
+    /** Peak bandwidth in bytes per controller cycle, all channels. */
+    double
+    peakBytesPerCycle() const
+    {
+        return static_cast<double>(accessBytes()) / burstCycles() * channels;
+    }
+};
+
+/** Standard DDR4-2400 channel with @p channels channels. */
+inline Ddr4Config
+ddr4_2400(u32 channels)
+{
+    Ddr4Config cfg;
+    cfg.channels = channels;
+    return cfg;
+}
+
+} // namespace mgx::dram
+
+#endif // MGX_DRAM_DDR4_TIMING_H

@@ -1,0 +1,106 @@
+#include "dram_channel.h"
+
+#include <algorithm>
+
+namespace mgx::dram {
+
+DramChannel::DramChannel(const Ddr4Config &cfg, StatGroup *stats)
+    : cfg_(cfg), stats_(stats),
+      banks_(static_cast<std::size_t>(cfg.banksPerRank) *
+             cfg.ranksPerChannel)
+{
+}
+
+Cycles
+DramChannel::refreshAdjust(Cycles t)
+{
+    // All banks are blocked for tRFC at every tREFI boundary. A command
+    // that would start inside the blackout is pushed past it.
+    Cycles phase = t % cfg_.tREFI;
+    if (phase < cfg_.tRFC) {
+        if (stats_)
+            stats_->add("refresh_stall_cycles", cfg_.tRFC - phase);
+        return t + (cfg_.tRFC - phase);
+    }
+    return t;
+}
+
+Cycles
+DramChannel::earliestActivate(Cycles t) const
+{
+    Cycles earliest = std::max(t, lastActivate_ + cfg_.tRRD);
+    // tFAW: at most four activates per rolling window.
+    Cycles fourth = activateWindow_[activateIdx_];
+    if (fourth + cfg_.tFAW > earliest)
+        earliest = fourth + cfg_.tFAW;
+    return earliest;
+}
+
+void
+DramChannel::recordActivate(Cycles t)
+{
+    lastActivate_ = t;
+    activateWindow_[activateIdx_] = t;
+    activateIdx_ = (activateIdx_ + 1) % 4;
+}
+
+Cycles
+DramChannel::access(const Coord &coord, bool is_write, Cycles arrival)
+{
+    const u32 bank_id = coord.rank * cfg_.banksPerRank + coord.bank;
+    BankState &bank = banks_[bank_id];
+
+    Cycles start = refreshAdjust(std::max(arrival, bank.readyAt));
+
+    Cycles column_cmd; // cycle the RD/WR command issues
+    if (bank.openRow == coord.row) {
+        // Row hit: column command can go immediately.
+        if (stats_)
+            stats_->add("row_hits");
+        column_cmd = start;
+    } else {
+        Cycles act_at;
+        if (bank.openRow == BankState::kNoRow) {
+            // Bank precharged: just activate.
+            if (stats_)
+                stats_->add("row_misses");
+            act_at = earliestActivate(start);
+        } else {
+            // Conflict: precharge (respecting tRAS), then activate.
+            if (stats_)
+                stats_->add("row_conflicts");
+            Cycles pre_at =
+                std::max(start, bank.activatedAt + cfg_.tRAS);
+            act_at = earliestActivate(pre_at + cfg_.tRP);
+        }
+        recordActivate(act_at);
+        bank.openRow = coord.row;
+        bank.activatedAt = act_at;
+        column_cmd = act_at + cfg_.tRCD;
+    }
+
+    const u32 cas = is_write ? cfg_.tCWL : cfg_.tCL;
+    // The data burst occupies the shared bus after the CAS latency;
+    // switching the bus direction costs a turnaround gap.
+    Cycles bus_ready = busFreeAt_;
+    if (is_write != lastBurstWrite_)
+        bus_ready += lastBurstWrite_ ? cfg_.tWTR : cfg_.tRTW;
+    Cycles burst_start = std::max(column_cmd + cas, bus_ready);
+    Cycles burst_end = burst_start + cfg_.burstCycles();
+    busFreeAt_ = burst_end;
+    lastBurstWrite_ = is_write;
+
+    // Next command to this bank must respect column-to-column timing and,
+    // for writes, the write-recovery time before a future precharge. The
+    // simplified model folds tWR into bank readiness.
+    bank.readyAt = column_cmd + cfg_.tCCD;
+    if (is_write)
+        bank.readyAt = std::max(bank.readyAt, burst_end + cfg_.tWR);
+
+    if (stats_)
+        stats_->add(is_write ? "writes" : "reads");
+    lastCompletion_ = std::max(lastCompletion_, burst_end);
+    return burst_end;
+}
+
+} // namespace mgx::dram

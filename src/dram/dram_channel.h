@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Timing model of one DDR4 channel.
+ *
+ * The model is O(1) per request: requests issue in arrival order, but
+ * bank-level parallelism is captured through per-bank ready times, the
+ * shared data bus through a bus-free time, activates through tRRD/tFAW
+ * windows, and refresh through periodic tRFC blackouts. Row-buffer
+ * state gives the open-page hit/miss/conflict behaviour that dominates
+ * streaming-accelerator bandwidth.
+ */
+
+#ifndef MGX_DRAM_DRAM_CHANNEL_H
+#define MGX_DRAM_DRAM_CHANNEL_H
+
+#include <vector>
+
+#include "common/stats.h"
+#include "ddr4_timing.h"
+#include "request.h"
+
+namespace mgx::dram {
+
+/** Per-bank row-buffer and availability state. */
+struct BankState
+{
+    static constexpr u32 kNoRow = 0xffffffff;
+
+    u32 openRow = kNoRow;   ///< currently open row, kNoRow if precharged
+    Cycles readyAt = 0;     ///< earliest cycle a new command may start
+    Cycles activatedAt = 0; ///< when the open row was activated (tRAS)
+};
+
+/** One channel: banks, shared data bus, activate windows, refresh. */
+class DramChannel
+{
+  public:
+    DramChannel(const Ddr4Config &cfg, StatGroup *stats);
+
+    /**
+     * Serve one column access.
+     * @param coord   decoded device coordinates (must be this channel)
+     * @param is_write write or read
+     * @param arrival earliest controller cycle the access may begin
+     * @return cycle at which the data burst completes
+     */
+    Cycles access(const Coord &coord, bool is_write, Cycles arrival);
+
+    /** Completion time of the latest burst seen so far. */
+    Cycles lastCompletion() const { return lastCompletion_; }
+
+  private:
+    /** Delay @p t past any refresh blackout it overlaps. */
+    Cycles refreshAdjust(Cycles t);
+
+    /** Earliest cycle a new ACT may issue given tRRD and tFAW. */
+    Cycles earliestActivate(Cycles t) const;
+
+    /** Record an ACT for the tRRD/tFAW windows. */
+    void recordActivate(Cycles t);
+
+    const Ddr4Config &cfg_;
+    StatGroup *stats_;
+    std::vector<BankState> banks_;
+    Cycles busFreeAt_ = 0;
+    bool lastBurstWrite_ = false;
+    Cycles lastActivate_ = 0;
+    Cycles activateWindow_[4] = {};
+    unsigned activateIdx_ = 0;
+    Cycles lastCompletion_ = 0;
+};
+
+} // namespace mgx::dram
+
+#endif // MGX_DRAM_DRAM_CHANNEL_H

@@ -1,0 +1,49 @@
+#include "dram_system.h"
+
+#include "common/bitops.h"
+
+namespace mgx::dram {
+
+DramSystem::DramSystem(const Ddr4Config &cfg)
+    : cfg_(cfg), map_(cfg), stats_("dram")
+{
+    channels_.reserve(cfg_.channels);
+    for (u32 c = 0; c < cfg_.channels; ++c)
+        channels_.push_back(std::make_unique<DramChannel>(cfg_, &stats_));
+}
+
+Cycles
+DramSystem::access(const Request &req)
+{
+    Coord coord = map_.decode(req.addr);
+    ++accessCount_;
+    return channels_[coord.channel]->access(coord, req.isWrite,
+                                            req.arrival);
+}
+
+Cycles
+DramSystem::accessRange(Addr addr, u64 bytes, bool is_write, Cycles arrival)
+{
+    if (bytes == 0)
+        return arrival;
+    const u32 block = map_.blockBytes();
+    Addr first = alignDown(addr, block);
+    Addr last = alignDown(addr + bytes - 1, block);
+    Cycles done = arrival;
+    for (Addr a = first; a <= last; a += block) {
+        Cycles c = access({a, is_write, arrival});
+        done = std::max(done, c);
+    }
+    return done;
+}
+
+Cycles
+DramSystem::lastCompletion() const
+{
+    Cycles t = 0;
+    for (const auto &ch : channels_)
+        t = std::max(t, ch->lastCompletion());
+    return t;
+}
+
+} // namespace mgx::dram

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Multi-channel DRAM system: the Ramulator stand-in. Decodes addresses,
+ * routes each 64-byte access to its channel, and reports completion
+ * times and aggregate statistics.
+ */
+
+#ifndef MGX_DRAM_DRAM_SYSTEM_H
+#define MGX_DRAM_DRAM_SYSTEM_H
+
+#include <memory>
+#include <vector>
+
+#include "address_map.h"
+#include "common/stats.h"
+#include "ddr4_timing.h"
+#include "dram_channel.h"
+#include "request.h"
+
+namespace mgx::dram {
+
+/** The full off-chip memory system seen by the protection engine. */
+class DramSystem
+{
+  public:
+    explicit DramSystem(const Ddr4Config &cfg);
+
+    /**
+     * Serve one access; splits nothing (callers issue block-granular
+     * requests). @return completion cycle of the data burst.
+     */
+    Cycles access(const Request &req);
+
+    /**
+     * Serve a contiguous @p bytes-long transfer starting at @p addr as a
+     * run of block accesses all arriving at @p arrival.
+     * @return completion cycle of the last burst.
+     */
+    Cycles accessRange(Addr addr, u64 bytes, bool is_write, Cycles arrival);
+
+    /** Completion time of the latest burst across all channels. */
+    Cycles lastCompletion() const;
+
+    /** Number of block accesses served so far. */
+    u64 accessCount() const { return accessCount_; }
+
+    /** Aggregate statistics (row hits, misses, refresh stalls, ...). */
+    const StatGroup &stats() const { return stats_; }
+    StatGroup &stats() { return stats_; }
+
+    /** Block (column access) size in bytes. */
+    u32 blockBytes() const { return map_.blockBytes(); }
+
+    const Ddr4Config &config() const { return cfg_; }
+
+  private:
+    Ddr4Config cfg_;
+    AddressMap map_;
+    StatGroup stats_;
+    std::vector<std::unique_ptr<DramChannel>> channels_;
+    u64 accessCount_ = 0;
+};
+
+} // namespace mgx::dram
+
+#endif // MGX_DRAM_DRAM_SYSTEM_H

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * The unit of work presented to the DRAM model: one column access
+ * (64 bytes for a 64-bit DDR4 channel).
+ */
+
+#ifndef MGX_DRAM_REQUEST_H
+#define MGX_DRAM_REQUEST_H
+
+#include "common/types.h"
+
+namespace mgx::dram {
+
+/** One 64-byte DRAM access. */
+struct Request
+{
+    Addr addr = 0;          ///< byte address (aligned down internally)
+    bool isWrite = false;   ///< read or write
+    Cycles arrival = 0;     ///< earliest controller cycle it may issue
+};
+
+/** Decoded device coordinates of a request. */
+struct Coord
+{
+    u32 channel = 0;
+    u32 rank = 0;
+    u32 bank = 0;
+    u32 row = 0;
+    u32 column = 0;
+};
+
+} // namespace mgx::dram
+
+#endif // MGX_DRAM_REQUEST_H

@@ -1,0 +1,48 @@
+#include "gact.h"
+
+#include <vector>
+
+namespace mgx::genome {
+
+SequencerProfile
+pacbioProfile()
+{
+    return {"PacBio", 10000, 0.12};
+}
+
+SequencerProfile
+ont2dProfile()
+{
+    return {"ONT2D", 8000, 0.14};
+}
+
+SequencerProfile
+ont1dProfile()
+{
+    return {"ONT1D", 10000, 0.22};
+}
+
+std::vector<GactWorkload>
+paperWorkloads(u64 reads_per_workload)
+{
+    // GRCh38 chromosome lengths (bases).
+    constexpr u64 kChr1 = 248956422;
+    constexpr u64 kChrX = 156040895;
+    constexpr u64 kChrY = 57227415;
+
+    std::vector<GactWorkload> workloads;
+    const struct { const char *chr; u64 bases; } chrs[] = {
+        {"chr1", kChr1}, {"chrX", kChrX}, {"chrY", kChrY}};
+    const SequencerProfile profiles[] = {pacbioProfile(), ont2dProfile(),
+                                         ont1dProfile()};
+    for (const auto &c : chrs) {
+        for (const auto &p : profiles) {
+            workloads.push_back(
+                {std::string(c.chr) + p.name, c.bases, p,
+                 reads_per_workload});
+        }
+    }
+    return workloads;
+}
+
+} // namespace mgx::genome

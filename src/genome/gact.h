@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Model of Darwin's GACT alignment accelerator (paper §VII-A, Fig. 15).
+ *
+ * Darwin performs reference-guided assembly: D-SOFT (software in our
+ * setup, as in the paper's evaluation) produces candidate positions;
+ * GACT arrays then align tiles of (reference chunk, query chunk),
+ * writing traceback pointers to DRAM. We model the published ASIC
+ * configuration: 64 independent GACT arrays of 64 PEs at 800 MHz.
+ *
+ * Memory behaviour per tile: a reference chunk load from an effectively
+ * random chromosome offset, a query chunk load from the current batch,
+ * and a sequential traceback write. Because chunk loads are small and
+ * randomly placed and tiles are variable-sized, MGX uses fine-grained
+ * (64 B) MACs here and only the MGX_VN mode is meaningful — matching
+ * the paper, which evaluates BP vs MGX_VN for GACT.
+ */
+
+#ifndef MGX_GENOME_GACT_H
+#define MGX_GENOME_GACT_H
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mgx::genome {
+
+/** GACT hardware configuration (Darwin ASIC defaults). */
+struct GactConfig
+{
+    u32 arrays = 64;        ///< independent GACT arrays
+    u32 pesPerArray = 64;   ///< PEs per array
+    double clockMhz = 800.0;
+    u32 tileBases = 512;    ///< alignment tile side length
+    u32 refChunkBytes = 512;   ///< reference bytes loaded per tile
+    u32 queryChunkBytes = 512; ///< query bytes loaded per tile
+    u32 tracebackBytesPerTile = 2048; ///< pointers written per tile
+
+    /** Systolic DP cycles for one tile on one array. */
+    Cycles
+    tileComputeCycles() const
+    {
+        // tileBases x tileBases cells, one column of PEs wide.
+        return static_cast<Cycles>(tileBases) * tileBases / pesPerArray;
+    }
+};
+
+/** Sequencer error/length profiles (paper: PacBio, ONT2D, ONT1D). */
+struct SequencerProfile
+{
+    std::string name;
+    u32 meanReadLen = 10000;
+    double errorRate = 0.12;
+};
+
+SequencerProfile pacbioProfile();
+SequencerProfile ont2dProfile();
+SequencerProfile ont1dProfile();
+
+/** One evaluated workload: a chromosome x sequencer pair (Fig. 16). */
+struct GactWorkload
+{
+    std::string name;        ///< e.g. "chr1PacBio"
+    u64 referenceBases = 0;  ///< chromosome length
+    SequencerProfile profile;
+    u64 numReads = 0;        ///< reads simulated (subset, as the paper)
+};
+
+/** The nine Fig. 16 workloads: chr{1,X,Y} x {PacBio, ONT2D, ONT1D}. */
+std::vector<GactWorkload> paperWorkloads(u64 reads_per_workload = 64);
+
+} // namespace mgx::genome
+
+#endif // MGX_GENOME_GACT_H

@@ -1,0 +1,97 @@
+#include "genome_kernel.h"
+
+#include <algorithm>
+
+#include "common/bitops.h"
+#include "common/rng.h"
+#include "core/counter.h"
+
+namespace mgx::genome {
+
+using core::makeVn;
+using core::Phase;
+using core::Trace;
+
+GenomeKernel::GenomeKernel(GactWorkload workload, GactConfig config,
+                           u64 seed)
+    : workload_(std::move(workload)), config_(config), seed_(seed)
+{
+    state_.setCounter("CTR_genome", 1); // this assembly
+    state_.setCounter("CTR_query", 0);
+}
+
+Vn
+GenomeKernel::queryVn() const
+{
+    return (state_.counter("CTR_genome") << 32) |
+           state_.counter("CTR_query");
+}
+
+core::Trace
+GenomeKernel::generate()
+{
+    Rng rng(seed_);
+    Trace trace;
+
+    // One new query batch per generate() call.
+    state_.bumpCounter("CTR_query");
+    const Vn vn_ref = makeVn(DataClass::GenomeTable,
+                             state_.counter("CTR_genome"));
+    const Vn vn_query = makeVn(DataClass::GenomeQuery, queryVn());
+
+    // Tiles per read: a chain along the read, with error-driven overlap
+    // (higher error rate -> smaller effective step -> more tiles).
+    const double step = static_cast<double>(config_.tileBases) *
+                        std::max(0.2, 1.0 - 2.0 * workload_.profile
+                                                    .errorRate);
+    const u64 tiles_per_read = std::max<u64>(
+        1, static_cast<u64>(workload_.profile.meanReadLen / step));
+
+    // Each read aligns at one random locus; its tile chain then walks
+    // the reference sequentially from there (GACT extends tile by
+    // tile along the alignment). Each GACT array processes one read's
+    // chain, so a "wave" takes the next tile of up to `arrays` reads.
+    const u64 ref_span = std::max<u64>(workload_.referenceBases / 2, 1);
+    std::vector<Addr> locus(workload_.numReads);
+    for (auto &l : locus)
+        l = alignDown(referenceBase_ + rng.below(ref_span), 64);
+
+    Addr traceback = tracebackBase_;
+    u64 query_off = 0;
+    for (u64 batch = 0; batch < workload_.numReads;
+         batch += config_.arrays) {
+        const u64 reads =
+            std::min<u64>(config_.arrays, workload_.numReads - batch);
+        for (u64 t = 0; t < tiles_per_read; ++t) {
+            Phase p;
+            p.name = "b" + std::to_string(batch / config_.arrays) +
+                     ".w" + std::to_string(t);
+            p.computeCycles = config_.tileComputeCycles();
+            for (u64 r = 0; r < reads; ++r) {
+                // Reference chunk: sequential within the read's chain.
+                const Addr ref_addr =
+                    locus[batch + r] + t * config_.refChunkBytes;
+                p.accesses.push_back({ref_addr, config_.refChunkBytes,
+                                      AccessType::Read,
+                                      DataClass::GenomeTable, vn_ref,
+                                      64});
+                // Query chunk: sequential within the batch.
+                p.accesses.push_back(
+                    {queryBase_ + query_off, config_.queryChunkBytes,
+                     AccessType::Read, DataClass::GenomeQuery, vn_query,
+                     64});
+                query_off += config_.queryChunkBytes;
+                // Traceback pointers: written once, sequentially.
+                p.accesses.push_back(
+                    {traceback, config_.tracebackBytesPerTile,
+                     AccessType::Write, DataClass::GenomeQuery,
+                     vn_query, 64});
+                traceback += config_.tracebackBytesPerTile;
+            }
+            trace.push_back(std::move(p));
+        }
+    }
+    return trace;
+}
+
+} // namespace mgx::genome

@@ -1,0 +1,89 @@
+#include "csr.h"
+
+#include <cstring>
+
+#include "common/log.h"
+#include "common/rng.h"
+
+namespace mgx::graph {
+
+CsrGraph
+makeSmallGraph(u64 vertices, u64 edges, u64 seed, double alpha)
+{
+    Rng rng(seed);
+    CsrGraph g;
+    g.numVertices = vertices;
+    g.rowPtr.resize(vertices + 1, 0);
+
+    // Pareto degrees scaled to the requested edge total.
+    std::vector<double> raw(vertices);
+    double sum = 0.0;
+    for (u64 i = 0; i < vertices; ++i) {
+        raw[i] = static_cast<double>(rng.pareto(alpha, 1.0));
+        sum += raw[i];
+    }
+    const double scale = static_cast<double>(edges) / sum;
+
+    for (u64 v = 0; v < vertices; ++v) {
+        u64 deg = static_cast<u64>(raw[v] * scale);
+        if (deg == 0)
+            deg = 1; // keep the graph connected-ish
+        g.rowPtr[v + 1] = g.rowPtr[v] + deg;
+    }
+    g.colIdx.resize(g.rowPtr[vertices]);
+    for (u64 v = 0; v < vertices; ++v)
+        for (u64 e = g.rowPtr[v]; e < g.rowPtr[v + 1]; ++e)
+            g.colIdx[e] = static_cast<u32>(rng.below(vertices));
+    return g;
+}
+
+std::vector<u8>
+serializeCsr(const CsrGraph &g)
+{
+    std::vector<u8> bytes;
+    bytes.reserve(16 + g.rowPtr.size() * 8 + g.colIdx.size() * 4);
+    auto push64 = [&bytes](u64 v) {
+        for (int i = 0; i < 8; ++i)
+            bytes.push_back(static_cast<u8>(v >> (8 * i)));
+    };
+    push64(g.numVertices);
+    push64(g.colIdx.size());
+    for (u64 p : g.rowPtr)
+        push64(p);
+    for (u32 c : g.colIdx) {
+        for (int i = 0; i < 4; ++i)
+            bytes.push_back(static_cast<u8>(c >> (8 * i)));
+    }
+    return bytes;
+}
+
+CsrGraph
+deserializeCsr(const std::vector<u8> &bytes)
+{
+    std::size_t off = 0;
+    auto pop64 = [&bytes, &off]() {
+        if (off + 8 > bytes.size())
+            fatal("CSR buffer truncated");
+        u64 v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<u64>(bytes[off++]) << (8 * i);
+        return v;
+    };
+    CsrGraph g;
+    g.numVertices = pop64();
+    const u64 num_edges = pop64();
+    g.rowPtr.resize(g.numVertices + 1);
+    for (auto &p : g.rowPtr)
+        p = pop64();
+    if (off + num_edges * 4 > bytes.size())
+        fatal("CSR buffer truncated (edges)");
+    g.colIdx.resize(num_edges);
+    for (auto &c : g.colIdx) {
+        c = 0;
+        for (int i = 0; i < 4; ++i)
+            c |= static_cast<u32>(bytes[off++]) << (8 * i);
+    }
+    return g;
+}
+
+} // namespace mgx::graph

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * A concrete CSR sparse matrix and small-graph utilities, used by the
+ * functional PageRank/BFS reference implementations, the secure-memory
+ * examples and the tests. The trace-level simulator uses GraphTiles
+ * instead and never materializes large graphs.
+ */
+
+#ifndef MGX_GRAPH_CSR_H
+#define MGX_GRAPH_CSR_H
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace mgx::graph {
+
+/** Compressed-sparse-row adjacency structure (4-byte column ids). */
+struct CsrGraph
+{
+    u64 numVertices = 0;
+    std::vector<u64> rowPtr;  ///< size numVertices + 1
+    std::vector<u32> colIdx;  ///< size numEdges
+
+    u64 numEdges() const { return colIdx.size(); }
+
+    /** Out-degree of @p v. */
+    u64
+    degree(u64 v) const
+    {
+        return rowPtr[v + 1] - rowPtr[v];
+    }
+};
+
+/**
+ * Materialize a small power-law digraph for functional tests:
+ * @p vertices vertices, ~@p edges edges, Pareto out-degrees, uniform
+ * destinations, deterministic under @p seed.
+ */
+CsrGraph makeSmallGraph(u64 vertices, u64 edges, u64 seed,
+                        double alpha = 1.8);
+
+/** Serialize the CSR arrays into the byte layout the accelerator and
+ *  the secure-memory examples use (rowPtr as u64 LE, colIdx as u32 LE). */
+std::vector<u8> serializeCsr(const CsrGraph &g);
+
+/** Inverse of serializeCsr (asserts a well-formed buffer). */
+CsrGraph deserializeCsr(const std::vector<u8> &bytes);
+
+} // namespace mgx::graph
+
+#endif // MGX_GRAPH_CSR_H

@@ -1,0 +1,84 @@
+#include "graph_gen.h"
+
+#include <algorithm>
+
+#include "common/bitops.h"
+#include "common/log.h"
+#include "common/rng.h"
+
+namespace mgx::graph {
+
+std::vector<GraphSpec>
+paperGraphs()
+{
+    // Published sizes: SNAP (gplus, pokec, livejournal), GNN-benchmark
+    // reddit, and the two OGB graphs the paper quotes (576K/42M and
+    // 2449K/124M). Scale factors keep laptop runtimes in seconds.
+    return {
+        {"google-plus", 107614, 13673453, 4, 1.8},
+        {"pokec", 1632803, 30622564, 8, 1.8},
+        {"livejournal", 4847571, 68993773, 16, 1.8},
+        {"reddit", 232965, 114615892, 16, 1.6},
+        {"ogbl-ppa", 576289, 42463862, 8, 1.8},
+        {"ogbn-products", 2449029, 123718280, 16, 1.8},
+    };
+}
+
+GraphSpec
+graphByName(const std::string &name)
+{
+    for (const auto &spec : paperGraphs())
+        if (spec.name == name)
+            return spec;
+    fatal("unknown graph '%s'", name.c_str());
+}
+
+GraphTiles
+buildTiles(const GraphSpec &spec, u64 dst_block_vertices,
+           u64 src_tile_vertices, u64 seed)
+{
+    const u64 v = std::max<u64>(spec.scaledVertices(), 1);
+    const u64 target_edges = std::max<u64>(spec.scaledEdges(), 1);
+
+    GraphTiles tiles;
+    tiles.vertices = v;
+    tiles.dstBlocks =
+        static_cast<u32>(divCeil(v, std::max<u64>(dst_block_vertices, 1)));
+    tiles.srcTiles =
+        static_cast<u32>(divCeil(v, std::max<u64>(src_tile_vertices, 1)));
+    tiles.tileEdges.assign(tiles.dstBlocks,
+                           std::vector<u64>(tiles.srcTiles, 0));
+
+    // Pareto out-degrees, rescaled so the total matches target_edges.
+    Rng rng(seed);
+    std::vector<double> raw(v);
+    double sum = 0.0;
+    for (u64 i = 0; i < v; ++i) {
+        raw[i] = static_cast<double>(rng.pareto(spec.paretoAlpha, 1.0));
+        sum += raw[i];
+    }
+    const double scale = static_cast<double>(target_edges) / sum;
+
+    u64 total = 0;
+    for (u64 dst = 0; dst < v; ++dst) {
+        u64 degree = static_cast<u64>(raw[dst] * scale);
+        if (degree == 0 && rng.chance(raw[dst] * scale))
+            degree = 1;
+        total += degree;
+        const u32 block =
+            static_cast<u32>(dst / std::max<u64>(dst_block_vertices, 1));
+        // Sources are spread uniformly: a deterministic share per src
+        // tile plus a randomly placed remainder.
+        const u64 share = degree / tiles.srcTiles;
+        u64 rem = degree % tiles.srcTiles;
+        for (u32 t = 0; t < tiles.srcTiles; ++t)
+            tiles.tileEdges[block][t] += share;
+        while (rem--) {
+            tiles.tileEdges[block][rng.below(tiles.srcTiles)] += 1;
+        }
+    }
+    tiles.edges = total;
+    return tiles;
+}
+
+} // namespace mgx::graph

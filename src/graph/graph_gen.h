@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Benchmark graph specifications and the synthetic generator.
+ *
+ * The paper evaluates on four SNAP graphs (google-plus, pokec,
+ * livejournal, reddit) and two OGB graphs (ogbl-ppa, ogbn-products).
+ * Those datasets cannot be redistributed here, so we synthesize
+ * power-law graphs with the published vertex/edge counts, optionally
+ * scaled down by a per-graph factor (documented in DESIGN.md). The
+ * metadata/data traffic ratios MGX measures are scale-invariant
+ * because both scale with the edge count.
+ *
+ * The generator never materializes the adjacency lists; it produces
+ * the per-tile edge counts the SpMV engine schedule needs, using a
+ * Pareto out-degree distribution and uniform destination spread.
+ */
+
+#ifndef MGX_GRAPH_GRAPH_GEN_H
+#define MGX_GRAPH_GRAPH_GEN_H
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mgx::graph {
+
+/** Published size of one benchmark graph plus our scaling factor. */
+struct GraphSpec
+{
+    std::string name;
+    u64 vertices = 0;   ///< published vertex count
+    u64 edges = 0;      ///< published edge count
+    u32 scale = 1;      ///< divide both by this for simulation
+    double paretoAlpha = 1.8; ///< degree-distribution tail exponent
+
+    u64 scaledVertices() const { return vertices / scale; }
+    u64 scaledEdges() const { return edges / scale; }
+};
+
+/** The paper's six graphs in plotting order. */
+std::vector<GraphSpec> paperGraphs();
+
+/** Look one up by name ("google-plus", "pokec", ...). */
+GraphSpec graphByName(const std::string &name);
+
+/**
+ * Edge counts of the (dstBlocks x srcTiles) tiling the SpMV engine
+ * iterates over (paper Fig. 10).
+ */
+struct GraphTiles
+{
+    u64 vertices = 0;
+    u64 edges = 0;
+    u32 dstBlocks = 1;
+    u32 srcTiles = 1;
+    /// tileEdges[b][t] = edges between dst block b and src tile t
+    std::vector<std::vector<u64>> tileEdges;
+};
+
+/**
+ * Synthesize the tiled structure of @p spec (scaled).
+ * @param dst_block_vertices vertices whose updated rank fits on chip
+ * @param src_tile_vertices  vertices whose rank fits in the vector buf
+ */
+GraphTiles buildTiles(const GraphSpec &spec, u64 dst_block_vertices,
+                      u64 src_tile_vertices, u64 seed);
+
+} // namespace mgx::graph
+
+#endif // MGX_GRAPH_GRAPH_GEN_H

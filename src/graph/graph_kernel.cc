@@ -1,0 +1,130 @@
+#include "graph_kernel.h"
+
+#include <algorithm>
+
+#include "common/bitops.h"
+#include "common/rng.h"
+#include "core/counter.h"
+
+namespace mgx::graph {
+
+using core::makeVn;
+using core::Phase;
+using core::Trace;
+
+GraphKernel::GraphKernel(GraphTiles tiles, GraphAlgorithm algorithm,
+                         u32 iterations, SpmvEngineConfig engine,
+                         VectorAccess vector_access)
+    : tiles_(std::move(tiles)), algorithm_(algorithm),
+      iterations_(iterations), engine_(engine),
+      vectorAccess_(vector_access)
+{
+    state_.setCounter("Iter", 0);
+    state_.setCounter("VN_adj", 1); // matrix loaded once at session start
+}
+
+std::string
+GraphKernel::name() const
+{
+    const char *prefix = algorithm_ == GraphAlgorithm::PageRank
+                             ? "PR-"
+                             : algorithm_ == GraphAlgorithm::BFS
+                                   ? "BFS-"
+                                   : "SSSP-";
+    return prefix + std::to_string(tiles_.vertices) + "v";
+}
+
+Trace
+GraphKernel::generate()
+{
+    Trace trace;
+    const u64 eb = engine_.entryBytes;
+    const Vn vn_adj =
+        makeVn(DataClass::GraphMatrix, state_.counter("VN_adj"));
+
+    // Byte offset of each adjacency tile, in schedule order.
+    std::vector<std::vector<u64>> tile_offset(
+        tiles_.dstBlocks, std::vector<u64>(tiles_.srcTiles, 0));
+    u64 adj_off = 0;
+    for (u32 b = 0; b < tiles_.dstBlocks; ++b) {
+        for (u32 t = 0; t < tiles_.srcTiles; ++t) {
+            tile_offset[b][t] = adj_off;
+            adj_off += alignUp(tiles_.tileEdges[b][t] * eb, 64);
+        }
+    }
+
+    Rng rng(0x9e3779b9u ^ tiles_.vertices);
+    for (u32 it = 1; it <= iterations_; ++it) {
+        const Vn iter = state_.bumpCounter("Iter");
+        const Vn vn_read = makeVn(DataClass::GraphVector, iter - 1 + 1);
+        const Vn vn_write = makeVn(DataClass::GraphVector, iter + 1);
+        const Addr buf_in = vectorBase_[(it + 1) % 2];
+        const Addr buf_out = vectorBase_[it % 2];
+
+        for (u32 b = 0; b < tiles_.dstBlocks; ++b) {
+            const u64 block_lo =
+                std::min<u64>(static_cast<u64>(b) *
+                                  engine_.dstBlockVertices,
+                              tiles_.vertices);
+            const u64 block_hi =
+                std::min<u64>(block_lo + engine_.dstBlockVertices,
+                              tiles_.vertices);
+            for (u32 t = 0; t < tiles_.srcTiles; ++t) {
+                const u64 edges = tiles_.tileEdges[b][t];
+                if (edges == 0)
+                    continue;
+                Phase p;
+                p.name = "it" + std::to_string(it) + ".b" +
+                         std::to_string(b) + ".t" + std::to_string(t);
+                p.computeCycles =
+                    std::max<Cycles>(1, edges / engine_.lanes);
+                // Sparse adjacency tile: sequential read, tile-grained
+                // MAC (the paper's per-tile MAC; 512 B default covers
+                // it since the tile is one contiguous run).
+                p.accesses.push_back({adjacencyBase_ + tile_offset[b][t],
+                                      edges * eb, AccessType::Read,
+                                      DataClass::GraphMatrix, vn_adj,
+                                      0});
+                // Rank tile for the source vertices of this tile.
+                const u64 tile_lo = std::min<u64>(
+                    static_cast<u64>(t) * engine_.srcTileVertices,
+                    tiles_.vertices);
+                const u64 tile_hi = std::min<u64>(
+                    tile_lo + engine_.srcTileVertices, tiles_.vertices);
+                if (vectorAccess_ == VectorAccess::Sequential) {
+                    if (tile_hi > tile_lo) {
+                        p.accesses.push_back(
+                            {buf_in + tile_lo * eb,
+                             (tile_hi - tile_lo) * eb, AccessType::Read,
+                             DataClass::GraphVector, vn_read, 0});
+                    }
+                } else {
+                    // SpMSpV: gather one vector entry per edge sample
+                    // (capped so trace size stays bounded); fine MACs.
+                    const u64 gathers =
+                        std::min<u64>(edges, tile_hi - tile_lo);
+                    for (u64 i = 0; i < gathers; ++i) {
+                        const u64 v =
+                            tile_lo + rng.below(tile_hi - tile_lo);
+                        p.accesses.push_back(
+                            {buf_in + alignDown(v * eb, 64), 64,
+                             AccessType::Read, DataClass::GraphVector,
+                             vn_read, 64});
+                    }
+                }
+                // Partial updated-rank stays on chip; only the final
+                // tile of a block writes it out (Fig. 10).
+                if (t + 1 == tiles_.srcTiles && block_hi > block_lo) {
+                    p.accesses.push_back(
+                        {buf_out + block_lo * eb,
+                         (block_hi - block_lo) * eb, AccessType::Write,
+                         DataClass::GraphVector, vn_write, 0});
+                }
+                trace.push_back(std::move(p));
+            }
+        }
+    }
+    return trace;
+}
+
+} // namespace mgx::graph

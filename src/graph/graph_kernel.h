@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The GraphBLAS accelerator kernel: GraphLily-like tiled SpMV schedule
+ * (paper Fig. 10) with MGX VN generation (paper §V-B).
+ *
+ * VN rules: the adjacency matrix is read-only with a constant VN; the
+ * rank / updated-rank vectors double-buffer, with (Iter-1) as the read
+ * VN and Iter as the write VN, so the kernel's whole VN state is one
+ * 64-bit iteration counter.
+ */
+
+#ifndef MGX_GRAPH_GRAPH_KERNEL_H
+#define MGX_GRAPH_GRAPH_KERNEL_H
+
+#include "core/kernel.h"
+#include "graph_gen.h"
+
+namespace mgx::graph {
+
+/** Which algorithm runs on the SpMV engine. */
+enum class GraphAlgorithm { PageRank, BFS, SSSP };
+
+/** GraphLily-like engine configuration. */
+struct SpmvEngineConfig
+{
+    u64 dstBlockVertices = 512 << 10; ///< output-buffer capacity
+    u64 srcTileVertices = 512 << 10;  ///< vector-buffer capacity
+    u32 lanes = 32;                   ///< edges processed per cycle (HBM-class)
+    u32 entryBytes = 4;               ///< per-edge and per-vertex bytes
+    double clockMhz = 800.0;
+};
+
+/** SpMSpV-style variant knobs (paper §V-B last paragraph). */
+enum class VectorAccess {
+    Sequential, ///< SpMV: rank vector streamed per tile
+    Random,     ///< SpMSpV: per-element gathers, fine-grained MACs
+};
+
+/** Control-processor kernel for one graph workload. */
+class GraphKernel : public core::Kernel
+{
+  public:
+    /**
+     * @param tiles       tiled structure from buildTiles()
+     * @param algorithm   PageRank or BFS
+     * @param iterations  SpMV sweeps to simulate
+     */
+    GraphKernel(GraphTiles tiles, GraphAlgorithm algorithm,
+                u32 iterations, SpmvEngineConfig engine = {},
+                VectorAccess vector_access = VectorAccess::Sequential);
+
+    std::string name() const override;
+
+    core::Trace generate() override;
+
+    /** The 64-bit Iter counter after the run (paper: the whole state). */
+    Vn iterCounter() const { return state_.counter("Iter"); }
+
+  private:
+    GraphTiles tiles_;
+    GraphAlgorithm algorithm_;
+    u32 iterations_;
+    SpmvEngineConfig engine_;
+    VectorAccess vectorAccess_;
+
+    Addr adjacencyBase_ = 0;
+    Addr vectorBase_[2] = {12ull << 30, 13ull << 30};
+};
+
+} // namespace mgx::graph
+
+#endif // MGX_GRAPH_GRAPH_KERNEL_H

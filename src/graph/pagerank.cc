@@ -1,0 +1,101 @@
+#include "pagerank.h"
+
+#include <limits>
+
+#include "semiring.h"
+
+namespace mgx::graph {
+
+std::vector<double>
+pagerank(const CsrGraph &g, u32 iters, double damping)
+{
+    const u64 v = g.numVertices;
+    std::vector<double> rank(v, 1.0 / static_cast<double>(v));
+    std::vector<double> next(v);
+
+    for (u32 it = 0; it < iters; ++it) {
+        std::fill(next.begin(), next.end(),
+                  ArithmeticSemiring::addIdentity);
+        // Push formulation: u distributes rank[u]/deg(u) along edges.
+        for (u64 u = 0; u < v; ++u) {
+            const u64 deg = g.degree(u);
+            if (deg == 0)
+                continue;
+            const double share =
+                rank[u] / static_cast<double>(deg);
+            for (u64 e = g.rowPtr[u]; e < g.rowPtr[u + 1]; ++e) {
+                next[g.colIdx[e]] = ArithmeticSemiring::add(
+                    next[g.colIdx[e]],
+                    ArithmeticSemiring::mult(share, 1.0));
+            }
+        }
+        for (u64 i = 0; i < v; ++i)
+            rank[i] = (1.0 - damping) / static_cast<double>(v) +
+                      damping * next[i];
+    }
+    return rank;
+}
+
+std::vector<u32>
+bfs(const CsrGraph &g, u64 source)
+{
+    constexpr u32 kUnreached = 0xffffffff;
+    const u64 v = g.numVertices;
+    std::vector<u32> level(v, kUnreached);
+    std::vector<char> frontier(v, 0), next(v);
+    frontier[source] = 1;
+    level[source] = 0;
+
+    for (u32 depth = 1; depth <= v; ++depth) {
+        std::fill(next.begin(), next.end(), 0);
+        bool any = false;
+        // One SpMV on the Boolean semiring: next = A^T & frontier.
+        for (u64 u = 0; u < v; ++u) {
+            if (!frontier[u])
+                continue;
+            for (u64 e = g.rowPtr[u]; e < g.rowPtr[u + 1]; ++e) {
+                const u32 w = g.colIdx[e];
+                if (level[w] == kUnreached) {
+                    next[w] = BooleanSemiring::add(
+                        next[w], BooleanSemiring::mult(true, true));
+                    level[w] = depth;
+                    any = true;
+                }
+            }
+        }
+        if (!any)
+            break;
+        frontier.swap(next);
+    }
+    return level;
+}
+
+std::vector<double>
+sssp(const CsrGraph &g, u64 source)
+{
+    const u64 v = g.numVertices;
+    std::vector<double> dist(v, TropicalSemiring::addIdentity);
+    dist[source] = 0.0;
+    // Bellman-Ford: |V|-1 relaxation rounds max, early exit when stable.
+    for (u64 round = 0; round + 1 < v; ++round) {
+        bool changed = false;
+        for (u64 u = 0; u < v; ++u) {
+            if (dist[u] == TropicalSemiring::addIdentity)
+                continue;
+            for (u64 e = g.rowPtr[u]; e < g.rowPtr[u + 1]; ++e) {
+                const u32 w = g.colIdx[e];
+                const double cand =
+                    TropicalSemiring::mult(dist[u], 1.0);
+                if (cand < dist[w]) {
+                    dist[w] = TropicalSemiring::add(dist[w], cand);
+                    changed = true;
+                }
+            }
+        }
+        if (!changed)
+            break;
+    }
+    return dist;
+}
+
+} // namespace mgx::graph

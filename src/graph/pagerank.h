@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Functional reference algorithms in the GraphBLAS formulation:
+ * PageRank as SpMV on the arithmetic semiring, BFS as SpMV on the
+ * Boolean semiring, SSSP on the tropical semiring. Used by the
+ * secure-memory examples and tests; the performance study uses the
+ * trace-level GraphKernel instead.
+ */
+
+#ifndef MGX_GRAPH_PAGERANK_H
+#define MGX_GRAPH_PAGERANK_H
+
+#include <vector>
+
+#include "csr.h"
+
+namespace mgx::graph {
+
+/**
+ * Standard damped PageRank.
+ * @param g     adjacency (edge u->v means u endorses v); we use the
+ *              transpose-free pull formulation over out-edges
+ * @param iters fixed iteration count
+ * @param damping the usual 0.85
+ */
+std::vector<double> pagerank(const CsrGraph &g, u32 iters,
+                             double damping = 0.85);
+
+/**
+ * Level-synchronous BFS from @p source; returns the level of each
+ * vertex (-1 encoded as max u32 for unreachable).
+ */
+std::vector<u32> bfs(const CsrGraph &g, u64 source);
+
+/** SSSP with unit edge weights (Bellman-Ford style SpMV iterations). */
+std::vector<double> sssp(const CsrGraph &g, u64 source);
+
+} // namespace mgx::graph
+
+#endif // MGX_GRAPH_PAGERANK_H

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * GraphBLAS semirings (paper §V-A). A semiring (D, x, +, I_x, I_+)
+ * instantiates the SpMV engine for a particular graph algorithm:
+ *
+ *   PageRank:  (R,        *,  +,   1, 0)
+ *   BFS:       (Boolean,  &,  |,   1, 0)
+ *   SSSP:      (R u inf,  +, min,  0, inf)
+ *
+ * The functional algorithms below use these directly; the trace
+ * simulator only needs the traffic shape, which is semiring-agnostic.
+ */
+
+#ifndef MGX_GRAPH_SEMIRING_H
+#define MGX_GRAPH_SEMIRING_H
+
+#include <algorithm>
+#include <limits>
+
+namespace mgx::graph {
+
+/** PageRank semiring over doubles. */
+struct ArithmeticSemiring
+{
+    using Value = double;
+    static constexpr double multIdentity = 1.0;
+    static constexpr double addIdentity = 0.0;
+    static double mult(double a, double b) { return a * b; }
+    static double add(double a, double b) { return a + b; }
+};
+
+/** BFS semiring over booleans. */
+struct BooleanSemiring
+{
+    using Value = bool;
+    static constexpr bool multIdentity = true;
+    static constexpr bool addIdentity = false;
+    static bool mult(bool a, bool b) { return a && b; }
+    static bool add(bool a, bool b) { return a || b; }
+};
+
+/** SSSP (min-plus) semiring. */
+struct TropicalSemiring
+{
+    using Value = double;
+    static constexpr double multIdentity = 0.0;
+    static constexpr double addIdentity =
+        std::numeric_limits<double>::infinity();
+    static double mult(double a, double b) { return a + b; }
+    static double add(double a, double b) { return std::min(a, b); }
+};
+
+} // namespace mgx::graph
+
+#endif // MGX_GRAPH_SEMIRING_H

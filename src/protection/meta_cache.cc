@@ -1,0 +1,93 @@
+#include "meta_cache.h"
+
+#include "common/bitops.h"
+#include "common/log.h"
+
+namespace mgx::protection {
+
+MetaCache::MetaCache(u32 capacity_bytes, u32 ways, StatGroup *stats)
+    : ways_(ways), stats_(stats)
+{
+    const u32 num_lines = capacity_bytes / kLineBytes;
+    if (ways_ == 0 || num_lines % ways_ != 0)
+        fatal("meta cache: %u lines not divisible into %u ways",
+              num_lines, ways_);
+    numSets_ = num_lines / ways_;
+    if (!isPow2(numSets_))
+        fatal("meta cache: set count %u must be a power of two", numSets_);
+    lines_.resize(static_cast<std::size_t>(numSets_) * ways_);
+}
+
+CacheResult
+MetaCache::access(Addr addr, bool dirty)
+{
+    const Addr line_addr = alignDown(addr, kLineBytes);
+    const u32 set =
+        static_cast<u32>((line_addr / kLineBytes) & (numSets_ - 1));
+    Line *base = &lines_[static_cast<std::size_t>(set) * ways_];
+    ++tick_;
+
+    // Hit path.
+    for (u32 w = 0; w < ways_; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == line_addr) {
+            line.lruTick = tick_;
+            line.dirty |= dirty;
+            if (stats_)
+                stats_->add("meta_cache_hits");
+            return {true, false, 0};
+        }
+    }
+
+    // Miss: pick the LRU way (preferring an invalid one).
+    Line *victim = base;
+    for (u32 w = 0; w < ways_; ++w) {
+        Line &line = base[w];
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (line.lruTick < victim->lruTick)
+            victim = &line;
+    }
+
+    CacheResult result;
+    result.hit = false;
+    if (victim->valid && victim->dirty) {
+        result.writeback = true;
+        result.victimAddr = victim->tag;
+        if (stats_)
+            stats_->add("meta_cache_writebacks");
+    }
+    victim->valid = true;
+    victim->dirty = dirty;
+    victim->tag = line_addr;
+    victim->lruTick = tick_;
+    if (stats_)
+        stats_->add("meta_cache_misses");
+    return result;
+}
+
+std::vector<Addr>
+MetaCache::flush()
+{
+    std::vector<Addr> dirty_lines;
+    for (auto &line : lines_) {
+        if (line.valid && line.dirty)
+            dirty_lines.push_back(line.tag);
+        line.valid = false;
+        line.dirty = false;
+    }
+    return dirty_lines;
+}
+
+void
+MetaCache::reset()
+{
+    for (auto &line : lines_) {
+        line.valid = false;
+        line.dirty = false;
+    }
+}
+
+} // namespace mgx::protection

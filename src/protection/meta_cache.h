@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The baseline scheme's on-chip VN/MAC/tree cache: set-associative,
+ * LRU, write-back, write-allocate, 64-byte lines (paper §VI-A).
+ */
+
+#ifndef MGX_PROTECTION_META_CACHE_H
+#define MGX_PROTECTION_META_CACHE_H
+
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace mgx::protection {
+
+/** Outcome of one cache access. */
+struct CacheResult
+{
+    bool hit = false;
+    bool writeback = false; ///< a dirty victim was evicted
+    Addr victimAddr = 0;    ///< its line address, valid iff writeback
+};
+
+/** Set-associative write-back metadata cache. */
+class MetaCache
+{
+  public:
+    static constexpr u32 kLineBytes = 64;
+
+    /**
+     * @param capacity_bytes total capacity (e.g. 32 KB)
+     * @param ways           associativity
+     * @param stats          optional stat sink (hits/misses/writebacks)
+     */
+    MetaCache(u32 capacity_bytes, u32 ways, StatGroup *stats = nullptr);
+
+    /**
+     * Access line containing @p addr. On a miss the line is allocated
+     * (write-allocate), possibly evicting a dirty victim that the
+     * caller must write back to DRAM.
+     * @param dirty mark the line dirty (a metadata update)
+     */
+    CacheResult access(Addr addr, bool dirty);
+
+    /** Flush all dirty lines; returns their line addresses. */
+    std::vector<Addr> flush();
+
+    /** Invalidate everything without writeback (new session). */
+    void reset();
+
+    u32 numSets() const { return numSets_; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        Addr tag = 0;  ///< full line address
+        u64 lruTick = 0;
+    };
+
+    u32 ways_;
+    u32 numSets_;
+    u64 tick_ = 0;
+    StatGroup *stats_;
+    std::vector<Line> lines_; ///< numSets_ x ways_, row-major
+};
+
+} // namespace mgx::protection
+
+#endif // MGX_PROTECTION_META_CACHE_H

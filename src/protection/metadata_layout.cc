@@ -1,0 +1,69 @@
+#include "metadata_layout.h"
+
+#include "common/bitops.h"
+#include "common/log.h"
+
+namespace mgx::protection {
+
+MetadataLayout::MetadataLayout(const ProtectionConfig &cfg) : cfg_(cfg)
+{
+    if (!isPow2(cfg_.baselineGranularity) || !isPow2(cfg_.macGranularity))
+        fatal("protection granularities must be powers of two");
+
+    macBase_ = cfg_.protectedBytes;
+    // Size the MAC region for the finest granularity any access may
+    // request (the baseline 64 B blocks), so per-access overrides fit.
+    const u64 mac_region =
+        cfg_.protectedBytes / cfg_.baselineGranularity * cfg_.macBytes;
+    vnBase_ = macBase_ + mac_region;
+
+    const u64 vn_region =
+        cfg_.protectedBytes / cfg_.baselineGranularity * cfg_.vnBytes;
+    u64 next_base = vnBase_ + vn_region;
+    totalMetadataBytes_ = mac_region;
+
+    if (!cfg_.onChipVn()) {
+        totalMetadataBytes_ += vn_region;
+        // Integrity-tree levels over the VN lines; the level with a
+        // single node is the on-chip root and is not stored.
+        u64 nodes = divCeil(vn_region, kLineBytes);
+        while (nodes > 1) {
+            nodes = divCeil(nodes, cfg_.treeArity);
+            if (nodes <= 1)
+                break;
+            treeBase_.push_back(next_base);
+            next_base += nodes * kLineBytes;
+            totalMetadataBytes_ += nodes * kLineBytes;
+        }
+    }
+}
+
+Addr
+MetadataLayout::macLineAddr(Addr data_addr, u32 mac_gran) const
+{
+    const u64 tag_index = data_addr / mac_gran;
+    return alignDown(macBase_ + tag_index * cfg_.macBytes, kLineBytes);
+}
+
+Addr
+MetadataLayout::vnLineAddr(Addr data_addr) const
+{
+    const u64 vn_off =
+        data_addr / cfg_.baselineGranularity * cfg_.vnBytes;
+    return alignDown(vnBase_ + vn_off, kLineBytes);
+}
+
+Addr
+MetadataLayout::treeNodeAddr(u32 level, Addr data_addr) const
+{
+    if (level == 0 || level > treeLevels())
+        panic("tree level %u out of range (1..%u)", level, treeLevels());
+    const u64 vn_off =
+        data_addr / cfg_.baselineGranularity * cfg_.vnBytes;
+    u64 idx = vn_off / kLineBytes;
+    for (u32 l = 0; l < level; ++l)
+        idx /= cfg_.treeArity;
+    return treeBase_[level - 1] + idx * kLineBytes;
+}
+
+} // namespace mgx::protection

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Address-space layout of protection metadata.
+ *
+ * The protected data region occupies [0, protectedBytes). Metadata
+ * regions are appended above it in DRAM:
+ *
+ *   [macBase, ...)   one tag per MAC block of data
+ *   [vnBase,  ...)   one VN per baseline block (BP / MGX_MAC only)
+ *   [treeBase[l], .) integrity-tree levels over the VN lines, level 1
+ *                    nearest the leaves; the root stays on-chip
+ *
+ * All metadata is accessed at 64-byte line granularity, matching the
+ * DRAM burst size.
+ */
+
+#ifndef MGX_PROTECTION_METADATA_LAYOUT_H
+#define MGX_PROTECTION_METADATA_LAYOUT_H
+
+#include <vector>
+
+#include "common/types.h"
+#include "scheme.h"
+
+namespace mgx::protection {
+
+/** Computes metadata addresses for one ProtectionConfig. */
+class MetadataLayout
+{
+  public:
+    static constexpr u32 kLineBytes = 64;
+
+    explicit MetadataLayout(const ProtectionConfig &cfg);
+
+    /** 64 B-aligned address of the MAC line holding the tag for the MAC
+     *  block containing @p data_addr, at granularity @p mac_gran. */
+    Addr macLineAddr(Addr data_addr, u32 mac_gran) const;
+
+    /** 64 B-aligned address of the VN line for baseline block
+     *  @p data_addr. */
+    Addr vnLineAddr(Addr data_addr) const;
+
+    /** Number of in-DRAM tree levels (root excluded). */
+    u32 treeLevels() const { return static_cast<u32>(treeBase_.size()); }
+
+    /**
+     * Address of the tree node at @p level (1 = closest to the VN
+     * lines) on the path of baseline block @p data_addr.
+     */
+    Addr treeNodeAddr(u32 level, Addr data_addr) const;
+
+    /** Total DRAM bytes occupied by metadata for this configuration. */
+    u64 metadataBytes() const { return totalMetadataBytes_; }
+
+    /** Start of the MAC region (for tests). */
+    Addr macBase() const { return macBase_; }
+
+    /** Start of the VN region (for tests). */
+    Addr vnBase() const { return vnBase_; }
+
+  private:
+    ProtectionConfig cfg_;
+    Addr macBase_ = 0;
+    Addr vnBase_ = 0;
+    std::vector<Addr> treeBase_; ///< treeBase_[l-1] = base of level l
+    u64 totalMetadataBytes_ = 0;
+};
+
+} // namespace mgx::protection
+
+#endif // MGX_PROTECTION_METADATA_LAYOUT_H

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Timing model of the memory-protection unit (paper Fig. 2).
+ *
+ * The engine sits between the accelerator and DRAM. For every logical
+ * access it issues the data requests plus whatever metadata traffic the
+ * active scheme requires:
+ *
+ *  - NP:      data only.
+ *  - BP:      per-64 B VN + MAC lines and an integrity-tree walk, all
+ *             through the shared 32 KB write-back metadata cache; tree
+ *             walks stop at the first cached (trusted) node.
+ *  - MGX:     data plus uncached coarse-grained MAC lines. Reads expand
+ *             to MAC-block boundaries (the whole block is needed to
+ *             verify the tag); partial-block writes read-modify-write
+ *             the block edges and tag lines.
+ *  - MGX_VN:  like MGX with the MAC granularity forced to 64 B.
+ *  - MGX_MAC: BP's VN/tree path combined with MGX's coarse MAC path.
+ *
+ * The engine never touches data bytes; functional security lives in
+ * SecureMemory. Both consume the same kernel-generated VNs.
+ */
+
+#ifndef MGX_PROTECTION_PROTECTION_ENGINE_H
+#define MGX_PROTECTION_PROTECTION_ENGINE_H
+
+#include <memory>
+
+#include "common/stats.h"
+#include "core/access.h"
+#include "dram/dram_system.h"
+#include "meta_cache.h"
+#include "metadata_layout.h"
+#include "scheme.h"
+
+namespace mgx::protection {
+
+/** Per-category traffic counters of one engine run. */
+struct TrafficBreakdown
+{
+    u64 dataBytes = 0;   ///< requested data traffic (as issued by NP)
+    u64 expandBytes = 0; ///< read/write amplification from coarse MACs
+    u64 macBytes = 0;    ///< MAC tag lines
+    u64 vnBytes = 0;     ///< VN lines (BP / MGX_MAC)
+    u64 treeBytes = 0;   ///< integrity-tree lines (BP / MGX_MAC)
+
+    u64
+    totalBytes() const
+    {
+        return dataBytes + expandBytes + macBytes + vnBytes + treeBytes;
+    }
+
+    /** Metadata bytes per data byte, the paper's traffic overhead. */
+    double
+    overhead() const
+    {
+        return dataBytes == 0
+                   ? 0.0
+                   : static_cast<double>(totalBytes() - dataBytes) /
+                         static_cast<double>(dataBytes);
+    }
+};
+
+/** The protection unit's timing model. */
+class ProtectionEngine
+{
+  public:
+    ProtectionEngine(const ProtectionConfig &cfg, dram::DramSystem *dram);
+
+    /**
+     * Issue one logical access and all implied metadata traffic.
+     * @param arrival controller cycle the access becomes ready
+     * @return completion cycle of the last implied DRAM burst (plus the
+     *         AES pipeline latency on the read path)
+     */
+    Cycles access(const core::LogicalAccess &acc, Cycles arrival);
+
+    /** Write back all dirty metadata (end of run). */
+    Cycles flush(Cycles arrival);
+
+    /** Per-category traffic counters. */
+    const TrafficBreakdown &traffic() const { return traffic_; }
+
+    /** Cache and engine statistics. */
+    const StatGroup &stats() const { return stats_; }
+
+    const ProtectionConfig &config() const { return cfg_; }
+    const MetadataLayout &layout() const { return layout_; }
+
+  private:
+    /** One metadata line access straight to DRAM (uncached schemes). */
+    Cycles issueLine(Addr line_addr, bool is_write, Cycles arrival,
+                     u64 &byte_counter);
+
+    /** Cached metadata access: miss fill + dirty-victim writeback. */
+    Cycles cachedLine(Addr line_addr, bool dirty, Cycles arrival,
+                      u64 &byte_counter);
+
+    /** Data+MAC path shared by MGX and MGX_VN (and MGX_MAC's MAC half). */
+    Cycles mgxMacPath(const core::LogicalAccess &acc, u32 gran,
+                      Cycles arrival, bool data_too);
+
+    /** BP's per-64 B VN + tree (+ optional MAC) path. */
+    Cycles baselinePath(const core::LogicalAccess &acc, Cycles arrival,
+                        bool mac_per_block);
+
+    ProtectionConfig cfg_;
+    MetadataLayout layout_;
+    dram::DramSystem *dram_;
+    StatGroup stats_;
+    MetaCache cache_;
+    TrafficBreakdown traffic_;
+};
+
+} // namespace mgx::protection
+
+#endif // MGX_PROTECTION_PROTECTION_ENGINE_H

@@ -1,0 +1,18 @@
+#include "scheme.h"
+
+namespace mgx::protection {
+
+const char *
+schemeName(Scheme s)
+{
+    switch (s) {
+      case Scheme::NP: return "NP";
+      case Scheme::BP: return "BP";
+      case Scheme::MGX: return "MGX";
+      case Scheme::MGX_VN: return "MGX_VN";
+      case Scheme::MGX_MAC: return "MGX_MAC";
+    }
+    return "?";
+}
+
+} // namespace mgx::protection

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Protection-scheme identifiers and configuration.
+ *
+ * Five schemes are modeled (paper §VI):
+ *  - NP      no protection; data traffic only.
+ *  - BP      baseline, Intel-MEE-like: 64 B protection granularity,
+ *            per-block VNs stored in DRAM, 8-ary integrity tree over
+ *            the VN lines, per-block MACs, shared 32 KB metadata cache.
+ *  - MGX     on-chip VN generation (no VN/tree traffic) + coarse MACs
+ *            matched to the accelerator granularity (512 B default).
+ *  - MGX_VN  ablation: on-chip VNs but fine-grained 64 B MACs.
+ *  - MGX_MAC ablation: coarse MACs but off-chip VNs + tree like BP.
+ */
+
+#ifndef MGX_PROTECTION_SCHEME_H
+#define MGX_PROTECTION_SCHEME_H
+
+#include <string>
+
+#include "common/types.h"
+
+namespace mgx::protection {
+
+/** Which protection scheme the engine models. */
+enum class Scheme { NP, BP, MGX, MGX_VN, MGX_MAC };
+
+/** Short display name ("BP", "MGX_VN", ...). */
+const char *schemeName(Scheme s);
+
+/** All evaluated schemes, in the paper's plotting order. */
+inline constexpr Scheme kAllSchemes[] = {
+    Scheme::NP, Scheme::MGX, Scheme::MGX_VN, Scheme::MGX_MAC, Scheme::BP,
+};
+
+/** Static parameters of the protection unit. */
+struct ProtectionConfig
+{
+    Scheme scheme = Scheme::MGX;
+
+    /** Size of the protected data region (paper: 16 GB). */
+    u64 protectedBytes = 16ull << 30;
+
+    /** MAC granularity for MGX / MGX_MAC (bytes of data per tag). */
+    u32 macGranularity = 512;
+
+    /** Granularity of the baseline scheme (cache-block). */
+    u32 baselineGranularity = 64;
+
+    /** Bytes of stored MAC tag per protected block. */
+    u32 macBytes = 8;
+
+    /** Bytes of stored VN per baseline block (56-bit VN padded). */
+    u32 vnBytes = 8;
+
+    /** Arity of the baseline integrity tree. */
+    u32 treeArity = 8;
+
+    /** Shared VN/MAC/tree cache for BP and MGX_MAC (bytes). */
+    u32 metaCacheBytes = 32 << 10;
+
+    /** Cache associativity. */
+    u32 metaCacheWays = 8;
+
+    /** AES-CTR pipeline latency added to a phase's read path (cycles). */
+    u32 cryptoLatency = 40;
+
+    /** True if this scheme keeps VNs on-chip (no VN/tree traffic). */
+    bool
+    onChipVn() const
+    {
+        return scheme == Scheme::MGX || scheme == Scheme::MGX_VN ||
+               scheme == Scheme::NP;
+    }
+
+    /** True if this scheme uses the shared metadata cache. */
+    bool
+    usesMetaCache() const
+    {
+        return scheme == Scheme::BP || scheme == Scheme::MGX_MAC;
+    }
+
+    /** Effective MAC granularity for a given per-access override. */
+    u32
+    effectiveMacGranularity(u32 access_override) const
+    {
+        switch (scheme) {
+          case Scheme::NP:
+            return 0; // unused
+          case Scheme::BP:
+          case Scheme::MGX_VN:
+            return baselineGranularity;
+          case Scheme::MGX:
+          case Scheme::MGX_MAC:
+            return access_override ? access_override : macGranularity;
+        }
+        return macGranularity;
+    }
+};
+
+} // namespace mgx::protection
+
+#endif // MGX_PROTECTION_SCHEME_H

@@ -1,0 +1,290 @@
+#include "secure_memory.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/bitops.h"
+#include "common/log.h"
+
+namespace mgx::protection {
+
+// ---------------------------------------------------------------------------
+// SparseBytes
+// ---------------------------------------------------------------------------
+
+void
+SparseBytes::write(Addr addr, std::span<const u8> data)
+{
+    std::size_t off = 0;
+    while (off < data.size()) {
+        const u64 page = (addr + off) / kPageBytes;
+        const u64 in_page = (addr + off) % kPageBytes;
+        const std::size_t n = std::min<std::size_t>(
+            kPageBytes - in_page, data.size() - off);
+        auto &bytes = pages_[page];
+        if (bytes.empty())
+            bytes.assign(kPageBytes, 0);
+        std::memcpy(bytes.data() + in_page, data.data() + off, n);
+        off += n;
+    }
+}
+
+void
+SparseBytes::read(Addr addr, std::span<u8> out) const
+{
+    std::size_t off = 0;
+    while (off < out.size()) {
+        const u64 page = (addr + off) / kPageBytes;
+        const u64 in_page = (addr + off) % kPageBytes;
+        const std::size_t n = std::min<std::size_t>(
+            kPageBytes - in_page, out.size() - off);
+        auto it = pages_.find(page);
+        if (it == pages_.end())
+            std::memset(out.data() + off, 0, n);
+        else
+            std::memcpy(out.data() + off, it->second.data() + in_page, n);
+        off += n;
+    }
+}
+
+void
+SparseBytes::flipByte(Addr addr)
+{
+    u8 b;
+    read(addr, {&b, 1});
+    b ^= 0xa5;
+    write(addr, {&b, 1});
+}
+
+// ---------------------------------------------------------------------------
+// SecureMemory (MGX semantics)
+// ---------------------------------------------------------------------------
+
+SecureMemory::SecureMemory(const SecureMemoryConfig &cfg)
+    : cfg_(cfg), ctr_(cfg.encKey), cmac_(cfg.macKey)
+{
+    if (!isPow2(cfg_.macGranularity) || cfg_.macGranularity < 16)
+        fatal("SecureMemory MAC granularity must be a power of two >= 16");
+}
+
+void
+SecureMemory::write(Addr addr, std::span<const u8> plaintext, Vn vn)
+{
+    const u32 gran = cfg_.macGranularity;
+    if (addr % gran != 0 || plaintext.size() % gran != 0)
+        fatal("MGX write at %#llx (+%zu) not aligned to the %u-byte MAC "
+              "granularity",
+              static_cast<unsigned long long>(addr), plaintext.size(),
+              gran);
+
+    std::vector<u8> block(gran);
+    for (std::size_t off = 0; off < plaintext.size(); off += gran) {
+        const Addr block_addr = addr + off;
+        std::memcpy(block.data(), plaintext.data() + off, gran);
+        ctr_.crypt(block_addr, vn, block);
+        store_.write(block_addr, block);
+        tags_[blockIndex(block_addr)] =
+            cmac_.tag(block, block_addr, vn);
+    }
+}
+
+bool
+SecureMemory::read(Addr addr, std::span<u8> plaintext_out, Vn vn)
+{
+    const u32 gran = cfg_.macGranularity;
+    const Addr begin = alignDown(addr, gran);
+    const Addr end = alignUp(addr + plaintext_out.size(), gran);
+
+    std::vector<u8> block(gran);
+    for (Addr block_addr = begin; block_addr < end; block_addr += gran) {
+        store_.read(block_addr, block);
+        auto it = tags_.find(blockIndex(block_addr));
+        const u64 expect = cmac_.tag(block, block_addr, vn);
+        if (it == tags_.end() || it->second != expect) {
+            std::fill(plaintext_out.begin(), plaintext_out.end(), u8{0});
+            return false;
+        }
+        ctr_.crypt(block_addr, vn, block);
+        // Copy the overlap of this block with the requested range.
+        const Addr lo = std::max(block_addr, addr);
+        const Addr hi = std::min<Addr>(block_addr + gran,
+                                       addr + plaintext_out.size());
+        std::memcpy(plaintext_out.data() + (lo - addr),
+                    block.data() + (lo - block_addr), hi - lo);
+    }
+    return true;
+}
+
+void
+SecureMemory::tamperCiphertext(Addr addr)
+{
+    store_.flipByte(addr);
+}
+
+void
+SecureMemory::tamperTag(Addr addr)
+{
+    auto it = tags_.find(blockIndex(addr));
+    if (it != tags_.end())
+        it->second ^= 1;
+}
+
+SecureMemory::BlockSnapshot
+SecureMemory::snapshotBlock(Addr addr) const
+{
+    const u32 gran = cfg_.macGranularity;
+    BlockSnapshot snap;
+    snap.addr = alignDown(addr, gran);
+    snap.ciphertext.resize(gran);
+    store_.read(snap.addr, snap.ciphertext);
+    auto it = tags_.find(snap.addr / gran);
+    snap.tag = it == tags_.end() ? 0 : it->second;
+    return snap;
+}
+
+void
+SecureMemory::restoreBlock(const BlockSnapshot &snap)
+{
+    store_.write(snap.addr, snap.ciphertext);
+    tags_[blockIndex(snap.addr)] = snap.tag;
+}
+
+void
+SecureMemory::spliceBlock(Addr from, Addr to)
+{
+    BlockSnapshot snap = snapshotBlock(from);
+    snap.addr = alignDown(to, cfg_.macGranularity);
+    restoreBlock(snap);
+}
+
+// ---------------------------------------------------------------------------
+// BaselineSecureMemory
+// ---------------------------------------------------------------------------
+
+BaselineSecureMemory::BaselineSecureMemory(const SecureMemoryConfig &cfg,
+                                           u64 memory_bytes, u32 tree_arity)
+    : cfg_(cfg), ctr_(cfg.encKey), cmac_(cfg.macKey),
+      vns_(memory_bytes / kBlockBytes, 0),
+      tree_(divCeil(memory_bytes / kBlockBytes, kVnsPerLeaf), tree_arity)
+{
+    // Install the all-zero VN leaves so unwritten regions verify.
+    for (u64 leaf = 0; leaf < divCeil(vns_.size(), kVnsPerLeaf); ++leaf)
+        tree_.updateLeaf(leaf, leafBytes(leaf));
+}
+
+std::vector<u8>
+BaselineSecureMemory::leafBytes(u64 leaf) const
+{
+    std::vector<u8> bytes(kVnsPerLeaf * sizeof(Vn), 0);
+    for (u32 i = 0; i < kVnsPerLeaf; ++i) {
+        const u64 idx = leaf * kVnsPerLeaf + i;
+        const Vn vn = idx < vns_.size() ? vns_[idx] : 0;
+        for (int b = 0; b < 8; ++b)
+            bytes[i * 8 + b] = static_cast<u8>(vn >> (56 - 8 * b));
+    }
+    return bytes;
+}
+
+void
+BaselineSecureMemory::write(Addr addr, std::span<const u8> plaintext)
+{
+    if (addr % kBlockBytes != 0 || plaintext.size() % kBlockBytes != 0)
+        fatal("baseline write at %#llx (+%zu) not 64 B aligned",
+              static_cast<unsigned long long>(addr), plaintext.size());
+
+    std::vector<u8> block(kBlockBytes);
+    for (std::size_t off = 0; off < plaintext.size();
+         off += kBlockBytes) {
+        const Addr block_addr = addr + off;
+        const u64 idx = blockIndex(block_addr);
+        if (idx >= vns_.size())
+            fatal("baseline write beyond protected region");
+        const Vn vn = ++vns_[idx];
+        std::memcpy(block.data(), plaintext.data() + off, kBlockBytes);
+        ctr_.crypt(block_addr, vn, block);
+        store_.write(block_addr, block);
+        tags_[idx] = cmac_.tag(block, block_addr, vn);
+        const u64 leaf = idx / kVnsPerLeaf;
+        tree_.updateLeaf(leaf, leafBytes(leaf));
+    }
+}
+
+bool
+BaselineSecureMemory::read(Addr addr, std::span<u8> plaintext_out)
+{
+    const Addr begin = alignDown(addr, kBlockBytes);
+    const Addr end = alignUp(addr + plaintext_out.size(), kBlockBytes);
+
+    std::vector<u8> block(kBlockBytes);
+    for (Addr block_addr = begin; block_addr < end;
+         block_addr += kBlockBytes) {
+        const u64 idx = blockIndex(block_addr);
+        if (idx >= vns_.size())
+            return false;
+        // Freshness: the VN line must verify against the on-chip root.
+        if (treeCheck_ &&
+            !tree_.verifyLeaf(idx / kVnsPerLeaf,
+                              leafBytes(idx / kVnsPerLeaf))) {
+            std::fill(plaintext_out.begin(), plaintext_out.end(), u8{0});
+            return false;
+        }
+        const Vn vn = vns_[idx];
+        store_.read(block_addr, block);
+        auto it = tags_.find(idx);
+        const u64 expect = cmac_.tag(block, block_addr, vn);
+        if ((it == tags_.end() && vn != 0) ||
+            (it != tags_.end() && it->second != expect)) {
+            std::fill(plaintext_out.begin(), plaintext_out.end(), u8{0});
+            return false;
+        }
+        if (it == tags_.end()) {
+            // Never-written block reads as zeros.
+            std::memset(block.data(), 0, kBlockBytes);
+        } else {
+            ctr_.crypt(block_addr, vn, block);
+        }
+        const Addr lo = std::max(block_addr, addr);
+        const Addr hi = std::min<Addr>(block_addr + kBlockBytes,
+                                       addr + plaintext_out.size());
+        std::memcpy(plaintext_out.data() + (lo - addr),
+                    block.data() + (lo - block_addr), hi - lo);
+    }
+    return true;
+}
+
+void
+BaselineSecureMemory::tamperCiphertext(Addr addr)
+{
+    store_.flipByte(addr);
+}
+
+void
+BaselineSecureMemory::tamperVn(Addr addr)
+{
+    vns_[blockIndex(addr)] += 1; // attacker edits the off-chip VN
+}
+
+BaselineSecureMemory::ReplaySnapshot
+BaselineSecureMemory::snapshotBlock(Addr addr) const
+{
+    ReplaySnapshot snap;
+    snap.addr = alignDown(addr, kBlockBytes);
+    snap.ciphertext.resize(kBlockBytes);
+    store_.read(snap.addr, snap.ciphertext);
+    const u64 idx = snap.addr / kBlockBytes;
+    auto it = tags_.find(idx);
+    snap.tag = it == tags_.end() ? 0 : it->second;
+    snap.vn = vns_[idx];
+    return snap;
+}
+
+void
+BaselineSecureMemory::restoreBlock(const ReplaySnapshot &snap)
+{
+    store_.write(snap.addr, snap.ciphertext);
+    const u64 idx = snap.addr / kBlockBytes;
+    tags_[idx] = snap.tag;
+    vns_[idx] = snap.vn; // note: the Merkle tree is NOT updated
+}
+
+} // namespace mgx::protection

@@ -1,0 +1,78 @@
+#include "session.h"
+
+#include <cstring>
+#include <vector>
+
+namespace mgx::protection {
+
+crypto::Key
+SecureSession::deriveKey(const crypto::Key &secret,
+                         const std::string &label, u64 context)
+{
+    // KDF in counter mode (SP 800-108): K_i = PRF(secret,
+    // i || label || 0x00 || context || L). One AES-CMAC block gives
+    // the full 128-bit key.
+    crypto::CmacEngine prf(secret);
+    std::vector<u8> input;
+    input.push_back(1); // counter i = 1
+    input.insert(input.end(), label.begin(), label.end());
+    input.push_back(0);
+    for (int b = 0; b < 8; ++b)
+        input.push_back(static_cast<u8>(context >> (56 - 8 * b)));
+    input.push_back(128); // output length in bits
+    crypto::Block out = prf.mac(input);
+    crypto::Key key;
+    std::memcpy(key.data(), out.data(), key.size());
+    return key;
+}
+
+crypto::Block
+SecureSession::macReport(const crypto::Key &device_secret,
+                         const AttestationReport &report)
+{
+    crypto::CmacEngine prf(
+        deriveKey(device_secret, "mgx-attest", report.sessionId));
+    std::vector<u8> msg;
+    msg.insert(msg.end(), report.firmwareHash.begin(),
+               report.firmwareHash.end());
+    msg.insert(msg.end(), report.kernelHash.begin(),
+               report.kernelHash.end());
+    for (int b = 0; b < 8; ++b)
+        msg.push_back(static_cast<u8>(report.userNonce >> (56 - 8 * b)));
+    for (int b = 0; b < 8; ++b)
+        msg.push_back(static_cast<u8>(report.sessionId >> (56 - 8 * b)));
+    return prf.mac(msg);
+}
+
+SecureSession::SecureSession(const crypto::Key &device_secret,
+                             u64 user_nonce,
+                             std::span<const u8> kernel_image,
+                             std::span<const u8> firmware,
+                             u64 session_id)
+{
+    // Fresh session keys: bound to the session id and the user nonce
+    // so no two sessions ever share AES-CTR counter streams.
+    const u64 context = session_id ^ (user_nonce * 0x9e3779b97f4a7c15ULL);
+    encKey_ = deriveKey(device_secret, "mgx-enc", context);
+    macKey_ = deriveKey(device_secret, "mgx-mac", context);
+
+    report_.firmwareHash = crypto::sha256(firmware);
+    report_.kernelHash = crypto::sha256(kernel_image);
+    report_.userNonce = user_nonce;
+    report_.sessionId = session_id;
+    report_.reportMac = macReport(device_secret, report_);
+}
+
+bool
+SecureSession::verifyReport(const crypto::Key &device_secret,
+                            const AttestationReport &report,
+                            const crypto::Digest &expected_kernel,
+                            u64 expected_nonce)
+{
+    if (report.kernelHash != expected_kernel ||
+        report.userNonce != expected_nonce)
+        return false;
+    return macReport(device_secret, report) == report.reportMac;
+}
+
+} // namespace mgx::protection

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Secure-session setup (paper §II, Fig. 1).
+ *
+ * Models the workflow that precedes protected execution: the user
+ * initiates a session; the accelerator clears state, derives fresh
+ * symmetric keys for memory encryption and integrity verification,
+ * and produces a remote-attestation report binding the device
+ * identity, the firmware/configuration hash and the hash of the
+ * application kernel that will generate version numbers.
+ *
+ * Simplification (documented in DESIGN.md): the paper assumes a PKI
+ * with a per-device private key (SK_Accel). Without a bignum/ECC
+ * substrate we model the device identity as a 128-bit device secret
+ * and authenticate the attestation report with a MAC under a key
+ * derived from it; a verifier holding the device secret (standing in
+ * for the certificate authority's verification path) can check it.
+ * Key derivation follows NIST SP 800-108 KDF-in-counter-mode with
+ * AES-CMAC as the PRF.
+ */
+
+#ifndef MGX_PROTECTION_SESSION_H
+#define MGX_PROTECTION_SESSION_H
+
+#include <span>
+#include <string>
+
+#include "crypto/mac.h"
+#include "crypto/sha256.h"
+#include "secure_memory.h"
+
+namespace mgx::protection {
+
+/** The attestation report returned to the user after session setup. */
+struct AttestationReport
+{
+    crypto::Digest firmwareHash{};  ///< accelerator configuration
+    crypto::Digest kernelHash{};    ///< the attested VN-generating kernel
+    u64 userNonce = 0;              ///< freshness from the user
+    u64 sessionId = 0;              ///< accelerator-chosen session id
+    crypto::Block reportMac{};      ///< MAC over all of the above
+};
+
+/**
+ * One protected accelerator session: fresh keys, an attested kernel,
+ * and a factory for the session's SecureMemory.
+ */
+class SecureSession
+{
+  public:
+    /**
+     * Establish a session on the accelerator side.
+     * @param device_secret the device's embedded identity secret
+     * @param user_nonce    freshness challenge from the user
+     * @param kernel_image  bytes of the kernel to attest
+     * @param firmware      bytes of firmware/configuration to attest
+     * @param session_id    monotonically increasing per-device value
+     */
+    SecureSession(const crypto::Key &device_secret, u64 user_nonce,
+                  std::span<const u8> kernel_image,
+                  std::span<const u8> firmware, u64 session_id);
+
+    /** The attestation report sent back to the user. */
+    const AttestationReport &report() const { return report_; }
+
+    /** Session memory-encryption key (derived, never the device key). */
+    const crypto::Key &encryptionKey() const { return encKey_; }
+
+    /** Session integrity key. */
+    const crypto::Key &macKey() const { return macKey_; }
+
+    /** Construct the session's protected memory. */
+    SecureMemory
+    makeSecureMemory(u32 mac_granularity = 512) const
+    {
+        SecureMemoryConfig cfg;
+        cfg.encKey = encKey_;
+        cfg.macKey = macKey_;
+        cfg.macGranularity = mac_granularity;
+        return SecureMemory(cfg);
+    }
+
+    /**
+     * Verifier side: check a report against the expected kernel and
+     * firmware hashes. Models the user's PKI-backed verification.
+     */
+    static bool verifyReport(const crypto::Key &device_secret,
+                             const AttestationReport &report,
+                             const crypto::Digest &expected_kernel,
+                             u64 expected_nonce);
+
+  private:
+    /** SP 800-108 counter-mode KDF: PRF = AES-CMAC(device-derived). */
+    static crypto::Key deriveKey(const crypto::Key &secret,
+                                 const std::string &label, u64 context);
+
+    static crypto::Block macReport(const crypto::Key &device_secret,
+                                   const AttestationReport &report);
+
+    crypto::Key encKey_{};
+    crypto::Key macKey_{};
+    AttestationReport report_;
+};
+
+} // namespace mgx::protection
+
+#endif // MGX_PROTECTION_SESSION_H

@@ -1,0 +1,55 @@
+#include "perf_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mgx::sim {
+
+PerfModel::PerfModel(protection::ProtectionEngine *engine,
+                     double accel_mhz, double ctrl_mhz)
+    : engine_(engine), accelMhz_(accel_mhz), ctrlMhz_(ctrl_mhz)
+{
+}
+
+Cycles
+PerfModel::toCtrl(Cycles accel_cycles) const
+{
+    return static_cast<Cycles>(
+        std::ceil(static_cast<double>(accel_cycles) * ctrlMhz_ /
+                  accelMhz_));
+}
+
+RunResult
+PerfModel::run(const core::Trace &trace)
+{
+    RunResult result;
+    Cycles mem_free = 0;     // when the memory stream can take phase i
+    Cycles compute_done = 0; // e_{i-1}
+    Cycles mem_busy = 0;
+
+    for (const auto &phase : trace) {
+        const Cycles issue = mem_free;
+        Cycles data_ready = issue;
+        for (const auto &acc : phase.accesses)
+            data_ready =
+                std::max(data_ready, engine_->access(acc, issue));
+        mem_busy += data_ready - issue;
+        mem_free = data_ready;
+
+        const Cycles compute = toCtrl(phase.computeCycles);
+        const Cycles start = std::max(data_ready, compute_done);
+        compute_done = start + compute;
+        result.computeCycles += compute;
+    }
+
+    const Cycles flushed = engine_->flush(mem_free);
+    result.totalCycles = std::max(compute_done, flushed);
+    result.memoryCycles = mem_busy;
+    result.traffic = engine_->traffic();
+    result.dramAccesses = engine_->stats().get("logical_accesses");
+    result.seconds =
+        static_cast<double>(result.totalCycles) / (ctrlMhz_ * 1e6);
+    return result;
+}
+
+} // namespace mgx::sim

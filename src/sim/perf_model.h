@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The performance evaluator (paper Fig. 11, rightmost box).
+ *
+ * Consumes a kernel trace phase by phase. Memory traffic of consecutive
+ * phases pipelines through the protection engine and DRAM back to back,
+ * while compute overlaps with the next phase's data movement — the
+ * double-buffering every streaming accelerator uses. Phase i's compute
+ * starts once its data has arrived and the previous phase's compute has
+ * finished:
+ *
+ *   m_i = c_{i-1}                (memory stream is serial)
+ *   c_i = engine.access(..., m_i) completion
+ *   s_i = max(c_i, e_{i-1});  e_i = s_i + compute_i
+ *
+ * Total time is max(e_N, c_N) plus the final metadata flush.
+ */
+
+#ifndef MGX_SIM_PERF_MODEL_H
+#define MGX_SIM_PERF_MODEL_H
+
+#include "core/phase.h"
+#include "protection/protection_engine.h"
+
+namespace mgx::sim {
+
+/** Outcome of one simulated run. */
+struct RunResult
+{
+    Cycles totalCycles = 0;   ///< controller cycles, end of run
+    Cycles computeCycles = 0; ///< sum of compute (controller cycles)
+    Cycles memoryCycles = 0;  ///< busy span of the memory stream
+    protection::TrafficBreakdown traffic;
+    u64 dramAccesses = 0;
+    double seconds = 0.0;
+
+    /** Memory traffic relative to the pure data traffic (>= 1). */
+    double
+    trafficIncrease() const
+    {
+        return traffic.dataBytes == 0
+                   ? 1.0
+                   : static_cast<double>(traffic.totalBytes()) /
+                         static_cast<double>(traffic.dataBytes);
+    }
+};
+
+/** Runs one trace through a protection engine and times it. */
+class PerfModel
+{
+  public:
+    /**
+     * @param engine  protection engine (owns no DRAM; see runner)
+     * @param accel_mhz   accelerator clock (compute cycles domain)
+     * @param ctrl_mhz    DRAM controller clock (timing domain)
+     */
+    PerfModel(protection::ProtectionEngine *engine, double accel_mhz,
+              double ctrl_mhz = 1200.0);
+
+    /** Simulate @p trace from cycle 0; returns the aggregate result. */
+    RunResult run(const core::Trace &trace);
+
+  private:
+    /** Convert accelerator cycles to controller cycles (rounding up). */
+    Cycles toCtrl(Cycles accel_cycles) const;
+
+    protection::ProtectionEngine *engine_;
+    double accelMhz_;
+    double ctrlMhz_;
+};
+
+} // namespace mgx::sim
+
+#endif // MGX_SIM_PERF_MODEL_H

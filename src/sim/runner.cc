@@ -1,0 +1,87 @@
+#include "runner.h"
+
+#include "common/log.h"
+
+namespace mgx::sim {
+
+double
+SchemeComparison::normalizedTime(protection::Scheme s) const
+{
+    auto np = results.find(protection::Scheme::NP);
+    auto it = results.find(s);
+    if (np == results.end() || it == results.end() ||
+        np->second.totalCycles == 0)
+        return 0.0;
+    return static_cast<double>(it->second.totalCycles) /
+           static_cast<double>(np->second.totalCycles);
+}
+
+double
+SchemeComparison::trafficIncrease(protection::Scheme s) const
+{
+    auto np = results.find(protection::Scheme::NP);
+    auto it = results.find(s);
+    if (np == results.end() || it == results.end() ||
+        np->second.traffic.totalBytes() == 0)
+        return 0.0;
+    return static_cast<double>(it->second.traffic.totalBytes()) /
+           static_cast<double>(np->second.traffic.totalBytes());
+}
+
+SchemeComparison
+compareSchemes(const core::Trace &trace, const Platform &platform,
+               const protection::ProtectionConfig &base,
+               const std::vector<protection::Scheme> &schemes)
+{
+    SchemeComparison cmp;
+    for (protection::Scheme scheme : schemes) {
+        dram::DramSystem dram(platform.dram);
+        protection::ProtectionConfig cfg = base;
+        cfg.scheme = scheme;
+        protection::ProtectionEngine engine(cfg, &dram);
+        PerfModel model(&engine, platform.clockMhz);
+        cmp.results[scheme] = model.run(trace);
+    }
+    return cmp;
+}
+
+std::vector<protection::Scheme>
+allSchemes()
+{
+    using protection::Scheme;
+    return {Scheme::NP, Scheme::MGX, Scheme::MGX_VN, Scheme::MGX_MAC,
+            Scheme::BP};
+}
+
+std::vector<protection::Scheme>
+trafficSchemes()
+{
+    using protection::Scheme;
+    return {Scheme::NP, Scheme::MGX, Scheme::BP};
+}
+
+Platform
+cloudPlatform()
+{
+    return {"Cloud", 700.0, dram::ddr4_2400(4)};
+}
+
+Platform
+edgePlatform()
+{
+    return {"Edge", 900.0, dram::ddr4_2400(1)};
+}
+
+Platform
+graphPlatform()
+{
+    return {"Graph", 800.0, dram::ddr4_2400(4)};
+}
+
+Platform
+genomePlatform()
+{
+    return {"Genome", 800.0, dram::ddr4_2400(4)};
+}
+
+} // namespace mgx::sim

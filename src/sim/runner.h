@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Convenience harness that runs one kernel trace under several
+ * protection schemes on fresh DRAM systems and reports normalized
+ * results — the operation behind every figure in the paper.
+ */
+
+#ifndef MGX_SIM_RUNNER_H
+#define MGX_SIM_RUNNER_H
+
+#include <map>
+#include <vector>
+
+#include "core/phase.h"
+#include "dram/ddr4_timing.h"
+#include "perf_model.h"
+#include "protection/scheme.h"
+
+namespace mgx::sim {
+
+/** One accelerator platform (clock + memory system). */
+struct Platform
+{
+    std::string name;        ///< "Cloud", "Edge", ...
+    double clockMhz = 700.0; ///< accelerator clock
+    dram::Ddr4Config dram;   ///< channel count etc.
+};
+
+/** Results per scheme, plus normalization against NP. */
+struct SchemeComparison
+{
+    std::map<protection::Scheme, RunResult> results;
+
+    /** Execution time normalized to the no-protection run. */
+    double normalizedTime(protection::Scheme s) const;
+
+    /** Memory traffic normalized to the no-protection run. */
+    double trafficIncrease(protection::Scheme s) const;
+};
+
+/**
+ * Run @p trace once per scheme in @p schemes on @p platform,
+ * instantiating a fresh DRAM system and protection engine per run so
+ * state never leaks between schemes.
+ * @param base protection parameters shared by all schemes (granularity,
+ *             cache size, ...); the scheme field is overwritten per run
+ */
+SchemeComparison
+compareSchemes(const core::Trace &trace, const Platform &platform,
+               const protection::ProtectionConfig &base,
+               const std::vector<protection::Scheme> &schemes);
+
+/** The paper's default scheme set: NP, MGX, MGX_VN, MGX_MAC, BP. */
+std::vector<protection::Scheme> allSchemes();
+
+/** Just NP, MGX, BP (traffic figures). */
+std::vector<protection::Scheme> trafficSchemes();
+
+/** TPU-v1-like cloud platform (256x256 PEs, 700 MHz, 4 channels). */
+Platform cloudPlatform();
+
+/** Samsung-NPU-like edge platform (32x32 PEs, 900 MHz, 1 channel). */
+Platform edgePlatform();
+
+/** GraphLily-like graph-accelerator platform (800 MHz, 4 channels). */
+Platform graphPlatform();
+
+/** Darwin/GACT genome platform (800 MHz, 4 channels). */
+Platform genomePlatform();
+
+} // namespace mgx::sim
+
+#endif // MGX_SIM_RUNNER_H

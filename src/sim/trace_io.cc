@@ -1,0 +1,112 @@
+#include "trace_io.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/log.h"
+
+namespace mgx::sim {
+namespace {
+
+const char *
+classToken(DataClass dc)
+{
+    return dataClassName(dc); // already unique, hyphenated tokens
+}
+
+DataClass
+classFromToken(const std::string &token, unsigned line)
+{
+    static constexpr DataClass kAll[] = {
+        DataClass::Feature,     DataClass::Weight,
+        DataClass::Gradient,    DataClass::GraphMatrix,
+        DataClass::GraphVector, DataClass::GenomeTable,
+        DataClass::GenomeQuery, DataClass::VideoFrame,
+        DataClass::Generic,
+    };
+    for (DataClass dc : kAll)
+        if (token == dataClassName(dc))
+            return dc;
+    fatal("trace line %u: unknown data class '%s'", line, token.c_str());
+}
+
+} // namespace
+
+void
+writeTrace(const core::Trace &trace, std::ostream &out)
+{
+    for (const auto &phase : trace) {
+        out << "P " << (phase.name.empty() ? "-" : phase.name) << ' '
+            << phase.computeCycles << '\n';
+        for (const auto &acc : phase.accesses) {
+            out << "A " << (acc.type == AccessType::Write ? 'w' : 'r')
+                << ' ' << std::hex << acc.addr << std::dec << ' '
+                << acc.bytes << ' ' << classToken(acc.cls) << ' '
+                << std::hex << acc.vn << std::dec << ' '
+                << acc.macGranularity << '\n';
+        }
+    }
+}
+
+std::string
+traceToString(const core::Trace &trace)
+{
+    std::ostringstream ss;
+    writeTrace(trace, ss);
+    return ss.str();
+}
+
+core::Trace
+readTrace(std::istream &in)
+{
+    core::Trace trace;
+    std::string line;
+    unsigned line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ss(line);
+        std::string tag;
+        ss >> tag;
+        if (tag == "P") {
+            core::Phase phase;
+            ss >> phase.name >> phase.computeCycles;
+            if (ss.fail())
+                fatal("trace line %u: malformed phase header", line_no);
+            if (phase.name == "-")
+                phase.name.clear();
+            trace.push_back(std::move(phase));
+        } else if (tag == "A") {
+            if (trace.empty())
+                fatal("trace line %u: access before any phase",
+                      line_no);
+            char rw = 0;
+            std::string cls;
+            core::LogicalAccess acc;
+            ss >> rw >> std::hex >> acc.addr >> std::dec >> acc.bytes >>
+                cls >> std::hex >> acc.vn >> std::dec >>
+                acc.macGranularity;
+            if (ss.fail() || (rw != 'r' && rw != 'w'))
+                fatal("trace line %u: malformed access", line_no);
+            acc.type =
+                rw == 'w' ? AccessType::Write : AccessType::Read;
+            acc.cls = classFromToken(cls, line_no);
+            trace.back().accesses.push_back(acc);
+        } else {
+            fatal("trace line %u: unknown record '%s'", line_no,
+                  tag.c_str());
+        }
+    }
+    return trace;
+}
+
+core::Trace
+traceFromString(const std::string &text)
+{
+    std::istringstream ss(text);
+    return readTrace(ss);
+}
+
+} // namespace mgx::sim

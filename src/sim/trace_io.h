@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Text serialization of kernel traces.
+ *
+ * One line per phase header and one per access, so traces can be
+ * diffed, inspected with standard tools, archived as experiment
+ * artifacts, and replayed without re-running the kernel:
+ *
+ *   P <name> <computeCycles>
+ *   A <r|w> <addr-hex> <bytes> <class> <vn-hex> <macGran>
+ */
+
+#ifndef MGX_SIM_TRACE_IO_H
+#define MGX_SIM_TRACE_IO_H
+
+#include <iosfwd>
+#include <string>
+
+#include "core/phase.h"
+
+namespace mgx::sim {
+
+/** Serialize @p trace to @p out. */
+void writeTrace(const core::Trace &trace, std::ostream &out);
+
+/** Serialize to a string (tests / small traces). */
+std::string traceToString(const core::Trace &trace);
+
+/**
+ * Parse a serialized trace. Fatal on malformed input with the
+ * offending line number.
+ */
+core::Trace readTrace(std::istream &in);
+
+/** Parse from a string. */
+core::Trace traceFromString(const std::string &text);
+
+} // namespace mgx::sim
+
+#endif // MGX_SIM_TRACE_IO_H

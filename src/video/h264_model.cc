@@ -1,0 +1,39 @@
+#include "h264_model.h"
+
+namespace mgx::video {
+
+std::vector<DecodedFrame>
+buildDecodeSchedule(const VideoConfig &cfg)
+{
+    std::vector<DecodedFrame> schedule;
+    // Anchors live at even display numbers: I every gopPeriod frames,
+    // P at the other even positions. A B frame at odd display number f
+    // is decoded right after its future anchor f+1... i.e. after the
+    // anchor at f+1 in display terms (f-1 and f+1 are both even).
+    for (u32 f = 0; f < cfg.numFrames; f += 2) {
+        DecodedFrame anchor;
+        anchor.displayNumber = f;
+        anchor.type = (f % cfg.gopPeriod == 0) ? FrameType::I
+                                               : FrameType::P;
+        anchor.bufferIndex = (f / 2) % 2;
+        if (anchor.type == FrameType::P) {
+            anchor.refDisplayNumbers = {f - 2};
+            anchor.refBufferIndices = {(f / 2 - 1) % 2u};
+        }
+        schedule.push_back(anchor);
+
+        if (f > 0) {
+            // The B frame between the previous anchor and this one.
+            DecodedFrame b;
+            b.displayNumber = f - 1;
+            b.type = FrameType::B;
+            b.bufferIndex = 2;
+            b.refDisplayNumbers = {f - 2, f};
+            b.refBufferIndices = {(f / 2 - 1) % 2u, (f / 2) % 2u};
+            schedule.push_back(b);
+        }
+    }
+    return schedule;
+}
+
+} // namespace mgx::video

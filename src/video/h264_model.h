@@ -1,0 +1,68 @@
+/**
+ * @file
+ * H.264 decoder memory model (paper §VII-A, Figs. 17-19).
+ *
+ * The decoder keeps three frame buffers in off-chip memory: two anchor
+ * (I/P) reference buffers and one for the B frame in flight. Each
+ * output frame is written exactly once per address; inter-prediction
+ * reads reference frames. Decode order differs from display order
+ * (I0 P2 B1 P4 B3 ... for an IBPB GOP).
+ *
+ * MGX VN rule: VN = CTR_IN || F where F is the *display* frame number
+ * and CTR_IN counts input bitstreams. A P frame reads its anchor with
+ * (CTR_IN || F-2); a B frame reads (CTR_IN || F-1) and (CTR_IN || F+1).
+ */
+
+#ifndef MGX_VIDEO_H264_MODEL_H
+#define MGX_VIDEO_H264_MODEL_H
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mgx::video {
+
+/** Frame type in the GOP. */
+enum class FrameType : u8 { I, P, B };
+
+/** One frame in decode order with its references. */
+struct DecodedFrame
+{
+    u32 displayNumber = 0; ///< F in the VN construction
+    FrameType type = FrameType::I;
+    u32 bufferIndex = 0;   ///< which of the 3 frame buffers it writes
+    std::vector<u32> refDisplayNumbers; ///< frames it reads
+    std::vector<u32> refBufferIndices;  ///< where those frames live
+};
+
+/** Stream geometry. */
+struct VideoConfig
+{
+    u32 width = 1920;
+    u32 height = 1080;
+    u32 numFrames = 16;   ///< frames decoded in this run
+    u32 gopPeriod = 4;    ///< I/P anchor every gopPeriod/2 frames
+    double bytesPerPixel = 1.5; ///< YUV420
+    double clockMhz = 450.0;
+    Cycles cyclesPerMacroblock = 256;
+
+    u64
+    frameBytes() const
+    {
+        return static_cast<u64>(static_cast<double>(width) * height *
+                                bytesPerPixel);
+    }
+};
+
+/**
+ * Build the decode-order schedule of an IBPB... sequence: anchors at
+ * even display numbers (I every gopPeriod, P otherwise) decoded first,
+ * B frames between them decoded after their future anchor. Buffer
+ * assignment: anchors alternate buffers 0/1, B frames use buffer 2.
+ */
+std::vector<DecodedFrame> buildDecodeSchedule(const VideoConfig &cfg);
+
+} // namespace mgx::video
+
+#endif // MGX_VIDEO_H264_MODEL_H

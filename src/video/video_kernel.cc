@@ -1,0 +1,69 @@
+#include "video_kernel.h"
+
+#include "common/bitops.h"
+#include "core/counter.h"
+
+namespace mgx::video {
+
+using core::makeVn;
+using core::Phase;
+using core::Trace;
+
+VideoKernel::VideoKernel(VideoConfig config) : config_(config)
+{
+    state_.setCounter("CTR_IN", 0);
+}
+
+Vn
+VideoKernel::frameVn(u32 f) const
+{
+    // CTR_IN in the upper half, display frame number in the lower.
+    return makeVn(DataClass::VideoFrame,
+                  (state_.counter("CTR_IN") << 32) | f);
+}
+
+Addr
+VideoKernel::bufferAddr(u32 index) const
+{
+    return bufferBase_ + static_cast<Addr>(index) *
+                             alignUp(config_.frameBytes(), 4096);
+}
+
+Trace
+VideoKernel::generate()
+{
+    state_.bumpCounter("CTR_IN"); // a new bitstream arrives
+    Trace trace;
+
+    const u64 frame_bytes = config_.frameBytes();
+    const u64 macroblocks = static_cast<u64>(divCeil(config_.width, 16)) *
+                            divCeil(config_.height, 16);
+
+    for (const DecodedFrame &frame : buildDecodeSchedule(config_)) {
+        Phase p;
+        p.name = "frame" + std::to_string(frame.displayNumber) +
+                 (frame.type == FrameType::I
+                      ? "(I)"
+                      : frame.type == FrameType::P ? "(P)" : "(B)");
+        p.computeCycles = macroblocks * config_.cyclesPerMacroblock;
+
+        // Inter-prediction reads the reference frame(s); motion search
+        // touches roughly the co-located region, i.e. ~one frame's
+        // worth of reference data per reference.
+        for (std::size_t r = 0; r < frame.refDisplayNumbers.size();
+             ++r) {
+            p.accesses.push_back(
+                {bufferAddr(frame.refBufferIndices[r]), frame_bytes,
+                 AccessType::Read, DataClass::VideoFrame,
+                 frameVn(frame.refDisplayNumbers[r]), 0});
+        }
+        // The output frame: written exactly once per address.
+        p.accesses.push_back({bufferAddr(frame.bufferIndex), frame_bytes,
+                              AccessType::Write, DataClass::VideoFrame,
+                              frameVn(frame.displayNumber), 0});
+        trace.push_back(std::move(p));
+    }
+    return trace;
+}
+
+} // namespace mgx::video

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * AES-128 correctness against the FIPS-197 appendix vectors plus
+ * structural properties (roundtrip, avalanche, key sensitivity).
+ */
+
+#include <gtest/gtest.h>
+
+#include "crypto/aes128.h"
+
+namespace mgx::crypto {
+namespace {
+
+Block
+blockFromHex(const char *hex)
+{
+    Block b{};
+    for (int i = 0; i < 16; ++i) {
+        auto nib = [](char c) -> u8 {
+            if (c >= '0' && c <= '9')
+                return static_cast<u8>(c - '0');
+            return static_cast<u8>(c - 'a' + 10);
+        };
+        b[i] = static_cast<u8>((nib(hex[2 * i]) << 4) |
+                               nib(hex[2 * i + 1]));
+    }
+    return b;
+}
+
+TEST(Aes128, Fips197AppendixB)
+{
+    // FIPS-197 Appendix B example.
+    const Key key = blockFromHex("2b7e151628aed2a6abf7158809cf4f3c");
+    const Block pt = blockFromHex("3243f6a8885a308d313198a2e0370734");
+    const Block expect =
+        blockFromHex("3925841d02dc09fbdc118597196a0b32");
+    Aes128 aes(key);
+    EXPECT_EQ(aes.encryptBlock(pt), expect);
+}
+
+TEST(Aes128, Fips197AppendixC1)
+{
+    // FIPS-197 Appendix C.1 known-answer test.
+    const Key key = blockFromHex("000102030405060708090a0b0c0d0e0f");
+    const Block pt = blockFromHex("00112233445566778899aabbccddeeff");
+    const Block expect =
+        blockFromHex("69c4e0d86a7b0430d8cdb78070b4c55a");
+    Aes128 aes(key);
+    EXPECT_EQ(aes.encryptBlock(pt), expect);
+}
+
+TEST(Aes128, DecryptInvertsEncrypt)
+{
+    const Key key = blockFromHex("000102030405060708090a0b0c0d0e0f");
+    Aes128 aes(key);
+    Block pt{};
+    for (int i = 0; i < 16; ++i)
+        pt[i] = static_cast<u8>(i * 17 + 3);
+    EXPECT_EQ(aes.decryptBlock(aes.encryptBlock(pt)), pt);
+}
+
+TEST(Aes128, DecryptKnownAnswer)
+{
+    const Key key = blockFromHex("000102030405060708090a0b0c0d0e0f");
+    const Block ct = blockFromHex("69c4e0d86a7b0430d8cdb78070b4c55a");
+    const Block expect =
+        blockFromHex("00112233445566778899aabbccddeeff");
+    Aes128 aes(key);
+    EXPECT_EQ(aes.decryptBlock(ct), expect);
+}
+
+TEST(Aes128, AvalancheOnPlaintextBit)
+{
+    const Key key = blockFromHex("2b7e151628aed2a6abf7158809cf4f3c");
+    Aes128 aes(key);
+    Block pt{};
+    Block ct1 = aes.encryptBlock(pt);
+    pt[0] ^= 1;
+    Block ct2 = aes.encryptBlock(pt);
+    int diff_bits = 0;
+    for (int i = 0; i < 16; ++i)
+        diff_bits += __builtin_popcount(ct1[i] ^ ct2[i]);
+    // A single flipped input bit should change roughly half the output.
+    EXPECT_GT(diff_bits, 32);
+    EXPECT_LT(diff_bits, 96);
+}
+
+TEST(Aes128, DifferentKeysDiverge)
+{
+    Key k1{}, k2{};
+    k2[15] = 1;
+    Aes128 a1(k1), a2(k2);
+    Block pt{};
+    EXPECT_NE(a1.encryptBlock(pt), a2.encryptBlock(pt));
+}
+
+TEST(Aes128, EncryptionIsDeterministic)
+{
+    Key key{};
+    key[0] = 0x42;
+    Aes128 a1(key), a2(key);
+    Block pt{};
+    pt[5] = 9;
+    EXPECT_EQ(a1.encryptBlock(pt), a2.encryptBlock(pt));
+}
+
+} // namespace
+} // namespace mgx::crypto

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tests for the common substrate: bit utilities, the deterministic
+ * RNG, and the stats counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace mgx {
+namespace {
+
+TEST(Bitops, IsPow2)
+{
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(64));
+    EXPECT_FALSE(isPow2(65));
+    EXPECT_TRUE(isPow2(1ull << 40));
+}
+
+TEST(Bitops, Log2)
+{
+    EXPECT_EQ(log2i(1), 0u);
+    EXPECT_EQ(log2i(64), 6u);
+    EXPECT_EQ(log2i(1ull << 33), 33u);
+}
+
+TEST(Bitops, DivCeil)
+{
+    EXPECT_EQ(divCeil(0, 8), 0u);
+    EXPECT_EQ(divCeil(1, 8), 1u);
+    EXPECT_EQ(divCeil(8, 8), 1u);
+    EXPECT_EQ(divCeil(9, 8), 2u);
+}
+
+TEST(Bitops, Align)
+{
+    EXPECT_EQ(alignUp(0, 64), 0u);
+    EXPECT_EQ(alignUp(1, 64), 64u);
+    EXPECT_EQ(alignUp(64, 64), 64u);
+    EXPECT_EQ(alignDown(63, 64), 0u);
+    EXPECT_EQ(alignDown(64, 64), 64u);
+}
+
+TEST(Bitops, BitsExtract)
+{
+    EXPECT_EQ(bits(0xff00, 8, 8), 0xffu);
+    EXPECT_EQ(bits(~u64{0}, 0, 64), ~u64{0});
+    EXPECT_EQ(bits(0b1011000, 3, 4), 0b1011u);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversRange)
+{
+    Rng rng(9);
+    bool seen[8] = {};
+    for (int i = 0; i < 1000; ++i)
+        seen[rng.below(8)] = true;
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double v = rng.uniform();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ParetoHeavyTail)
+{
+    Rng rng(13);
+    u64 max_seen = 0;
+    double mean = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        u64 v = rng.pareto(1.8, 1.0);
+        max_seen = std::max(max_seen, v);
+        mean += static_cast<double>(v);
+    }
+    mean /= n;
+    EXPECT_GE(max_seen, 50u);  // heavy tail produces large outliers
+    EXPECT_LT(mean, 10.0);     // but the bulk is small
+}
+
+TEST(Stats, AddSetGet)
+{
+    StatGroup stats("test");
+    EXPECT_EQ(stats.get("missing"), 0u);
+    stats.add("hits");
+    stats.add("hits", 4);
+    EXPECT_EQ(stats.get("hits"), 5u);
+    stats.set("hits", 2);
+    EXPECT_EQ(stats.get("hits"), 2u);
+}
+
+TEST(Stats, Ratio)
+{
+    StatGroup stats("test");
+    stats.set("num", 30);
+    stats.set("den", 60);
+    EXPECT_DOUBLE_EQ(stats.ratio("num", "den"), 0.5);
+    EXPECT_DOUBLE_EQ(stats.ratio("num", "zero"), 0.0);
+}
+
+TEST(Types, DataClassNames)
+{
+    EXPECT_STREQ(dataClassName(DataClass::Feature), "feature");
+    EXPECT_STREQ(dataClassName(DataClass::GraphMatrix), "graph-matrix");
+    EXPECT_STREQ(accessTypeName(AccessType::Read), "read");
+}
+
+} // namespace
+} // namespace mgx

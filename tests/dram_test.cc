@@ -1,0 +1,171 @@
+/**
+ * @file
+ * DRAM model tests: address-map properties, row-buffer behaviour,
+ * bank-level parallelism, bus saturation, refresh, and channel
+ * scaling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dram/dram_system.h"
+
+namespace mgx::dram {
+namespace {
+
+TEST(AddressMap, ConsecutiveBlocksInterleaveChannels)
+{
+    Ddr4Config cfg = ddr4_2400(4);
+    AddressMap map(cfg);
+    std::set<u32> channels;
+    for (Addr a = 0; a < 4 * 64; a += 64)
+        channels.insert(map.decode(a).channel);
+    EXPECT_EQ(channels.size(), 4u);
+}
+
+TEST(AddressMap, SameRowForSequentialAccesses)
+{
+    Ddr4Config cfg = ddr4_2400(1);
+    AddressMap map(cfg);
+    Coord first = map.decode(0);
+    // A full row is rowBytes; everything below maps to the same row.
+    Coord last = map.decode(cfg.rowBytes - 64);
+    EXPECT_EQ(first.row, last.row);
+    EXPECT_EQ(first.bank, last.bank);
+    EXPECT_NE(first.column, last.column);
+}
+
+TEST(AddressMap, DistinctCoordsForDistinctBlocks)
+{
+    Ddr4Config cfg = ddr4_2400(2);
+    AddressMap map(cfg);
+    std::set<std::tuple<u32, u32, u32, u32, u32>> seen;
+    for (Addr a = 0; a < 1 << 20; a += 64) {
+        Coord c = map.decode(a);
+        auto key = std::make_tuple(c.channel, c.rank, c.bank, c.row,
+                                   c.column);
+        EXPECT_TRUE(seen.insert(key).second)
+            << "alias at address " << a;
+    }
+}
+
+TEST(DramChannel, RowHitIsFasterThanMiss)
+{
+    Ddr4Config cfg = ddr4_2400(1);
+    DramSystem sys(cfg);
+    // First access opens the row (miss); the second hits it.
+    Cycles t1 = sys.access({0, false, 0});
+    Cycles t2 = sys.access({64, false, t1});
+    const Cycles miss_latency = t1;
+    const Cycles hit_latency = t2 - t1;
+    EXPECT_LT(hit_latency, miss_latency);
+    EXPECT_EQ(sys.stats().get("row_hits"), 1u);
+}
+
+TEST(DramChannel, RowConflictCostsPrechargeActivate)
+{
+    Ddr4Config cfg = ddr4_2400(1);
+    DramSystem sys(cfg);
+    AddressMap map(cfg);
+    // Two rows in the same bank: row stride = one full bank sweep.
+    Coord a = map.decode(0);
+    Addr conflict = 0;
+    for (Addr cand = 64; cand < (1ull << 30); cand += 64) {
+        Coord c = map.decode(cand);
+        if (c.channel == a.channel && c.bank == a.bank &&
+            c.rank == a.rank && c.row != a.row) {
+            conflict = cand;
+            break;
+        }
+    }
+    ASSERT_NE(conflict, 0u);
+    Cycles t1 = sys.access({0, false, 0});
+    Cycles t2 = sys.access({conflict, false, t1});
+    EXPECT_EQ(sys.stats().get("row_conflicts"), 1u);
+    // Conflict pays tRAS residue + tRP + tRCD + CL; far more than a hit.
+    EXPECT_GT(t2 - t1, static_cast<Cycles>(cfg.tRP + cfg.tRCD));
+}
+
+TEST(DramChannel, StreamSaturatesBusBandwidth)
+{
+    Ddr4Config cfg = ddr4_2400(1);
+    DramSystem sys(cfg);
+    const u64 blocks = 4096;
+    Cycles done = sys.accessRange(0, blocks * 64, false, 0);
+    // Ideal: 4 cycles per 64 B burst. Allow overheads (activates,
+    // refresh) but require >70% bus utilization for a pure stream.
+    const double ideal = static_cast<double>(blocks) *
+                         cfg.burstCycles();
+    EXPECT_LT(static_cast<double>(done), ideal / 0.7);
+}
+
+TEST(DramChannel, MoreChannelsMoreBandwidth)
+{
+    const u64 bytes = 1 << 20;
+    DramSystem one(ddr4_2400(1));
+    DramSystem four(ddr4_2400(4));
+    Cycles t1 = one.accessRange(0, bytes, false, 0);
+    Cycles t4 = four.accessRange(0, bytes, false, 0);
+    EXPECT_GT(t1, 3 * t4); // ~4x, allow slack
+}
+
+TEST(DramChannel, RefreshStallsAppear)
+{
+    Ddr4Config cfg = ddr4_2400(1);
+    DramSystem sys(cfg);
+    // Stream long enough to cross several tREFI windows.
+    sys.accessRange(0, 8ull << 20, false, 0);
+    EXPECT_GT(sys.stats().get("refresh_stall_cycles"), 0u);
+}
+
+TEST(DramChannel, WritesTracked)
+{
+    DramSystem sys(ddr4_2400(1));
+    sys.accessRange(0, 1024, true, 0);
+    EXPECT_EQ(sys.stats().get("writes"), 16u);
+    EXPECT_EQ(sys.stats().get("reads"), 0u);
+}
+
+TEST(DramSystem, AccessRangeCountsBlocks)
+{
+    DramSystem sys(ddr4_2400(2));
+    sys.accessRange(100, 1, false, 0); // 1 byte -> 1 block
+    EXPECT_EQ(sys.accessCount(), 1u);
+    sys.accessRange(0, 64 * 7, false, 0);
+    EXPECT_EQ(sys.accessCount(), 8u);
+    // Unaligned range spanning a block boundary.
+    sys.accessRange(60, 8, false, 0);
+    EXPECT_EQ(sys.accessCount(), 10u);
+}
+
+TEST(DramSystem, CompletionMonotoneWithArrival)
+{
+    DramSystem sys(ddr4_2400(1));
+    Cycles t1 = sys.access({0, false, 1000});
+    EXPECT_GE(t1, 1000u);
+}
+
+/** Channel-count sweep: utilization must stay high for streams. */
+class ChannelSweepTest : public ::testing::TestWithParam<u32>
+{
+};
+
+TEST_P(ChannelSweepTest, StreamingEfficiency)
+{
+    const u32 channels = GetParam();
+    Ddr4Config cfg = ddr4_2400(channels);
+    DramSystem sys(cfg);
+    const u64 bytes = 4ull << 20;
+    Cycles done = sys.accessRange(0, bytes, false, 0);
+    const double ideal_cycles =
+        static_cast<double>(bytes) / cfg.peakBytesPerCycle();
+    EXPECT_LT(static_cast<double>(done), ideal_cycles / 0.65)
+        << "channels=" << channels;
+}
+
+INSTANTIATE_TEST_SUITE_P(Channels, ChannelSweepTest,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+} // namespace
+} // namespace mgx::dram

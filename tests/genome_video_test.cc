@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Case-study tests: the Darwin/GACT genome kernel (§VII-A) and the
+ * H.264 decoder model, including the functional decode of an IBPB
+ * sequence through SecureMemory with the CTR_IN||F VN rule.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/invariant_checker.h"
+#include "genome/genome_kernel.h"
+#include "protection/secure_memory.h"
+#include "video/video_kernel.h"
+
+namespace mgx {
+namespace {
+
+// -- GACT ---------------------------------------------------------------------
+
+TEST(Gact, NineWorkloads)
+{
+    auto workloads = genome::paperWorkloads();
+    ASSERT_EQ(workloads.size(), 9u);
+    EXPECT_EQ(workloads[0].name, "chr1PacBio");
+    EXPECT_EQ(workloads[8].name, "chrYONT1D");
+}
+
+TEST(Gact, HigherErrorRateMeansMoreTiles)
+{
+    genome::GactWorkload pacbio{"t1", 1000000, genome::pacbioProfile(),
+                                16};
+    genome::GactWorkload ont1d{"t2", 1000000, genome::ont1dProfile(),
+                               16};
+    genome::GenomeKernel k1(pacbio), k2(ont1d);
+    EXPECT_GT(core::traceDataBytes(k2.generate()),
+              core::traceDataBytes(k1.generate()));
+}
+
+TEST(Gact, ComputeModelMatchesArrayGeometry)
+{
+    genome::GactConfig cfg;
+    EXPECT_EQ(cfg.tileComputeCycles(), 512u * 512u / 64u);
+}
+
+TEST(GenomeKernel, AllAccessesFineGrained)
+{
+    genome::GenomeKernel kernel(genome::paperWorkloads(8)[0]);
+    for (const auto &phase : kernel.generate())
+        for (const auto &acc : phase.accesses)
+            EXPECT_EQ(acc.macGranularity, 64u);
+}
+
+TEST(GenomeKernel, TracebackWritesAreSequentialAndUnique)
+{
+    genome::GenomeKernel kernel(genome::paperWorkloads(8)[0]);
+    core::InvariantChecker checker;
+    checker.observeTrace(kernel.generate());
+    auto report = checker.report();
+    EXPECT_TRUE(report.ok) << (report.violations.empty()
+                                   ? "?"
+                                   : report.violations.front());
+}
+
+TEST(GenomeKernel, QueryVnConcatenatesCounters)
+{
+    genome::GenomeKernel kernel(genome::paperWorkloads(4)[0]);
+    kernel.generate();
+    // CTR_genome = 1 in the high half, CTR_query = 1 in the low half.
+    EXPECT_EQ(kernel.queryVn(), (1ull << 32) | 1ull);
+    kernel.generate(); // second query batch
+    EXPECT_EQ(kernel.queryVn(), (1ull << 32) | 2ull);
+}
+
+TEST(GenomeKernel, TwoBatchesKeepInvariants)
+{
+    genome::GenomeKernel kernel(genome::paperWorkloads(8)[4]);
+    core::InvariantChecker checker;
+    checker.observeTrace(kernel.generate());
+    checker.observeTrace(kernel.generate());
+    EXPECT_TRUE(checker.report().ok);
+}
+
+// -- H.264 ---------------------------------------------------------------------
+
+TEST(H264, DecodeScheduleMatchesFig18)
+{
+    video::VideoConfig cfg;
+    cfg.numFrames = 7;
+    auto schedule = video::buildDecodeSchedule(cfg);
+    // Display order 0..6, decode order 0 2 1 4 3 6 5.
+    std::vector<u32> decode_order;
+    for (const auto &f : schedule)
+        decode_order.push_back(f.displayNumber);
+    EXPECT_EQ(decode_order, (std::vector<u32>{0, 2, 1, 4, 3, 6, 5}));
+    // Types: I at multiples of gopPeriod (4), P at other evens, B odd.
+    EXPECT_EQ(schedule[0].type, video::FrameType::I);
+    EXPECT_EQ(schedule[1].type, video::FrameType::P);
+    EXPECT_EQ(schedule[2].type, video::FrameType::B);
+    EXPECT_EQ(schedule[3].type, video::FrameType::I);
+}
+
+TEST(H264, BFramesReadBothAnchors)
+{
+    video::VideoConfig cfg;
+    cfg.numFrames = 8;
+    for (const auto &f : video::buildDecodeSchedule(cfg)) {
+        if (f.type == video::FrameType::B) {
+            ASSERT_EQ(f.refDisplayNumbers.size(), 2u);
+            EXPECT_EQ(f.refDisplayNumbers[0], f.displayNumber - 1);
+            EXPECT_EQ(f.refDisplayNumbers[1], f.displayNumber + 1);
+        } else if (f.type == video::FrameType::P) {
+            ASSERT_EQ(f.refDisplayNumbers.size(), 1u);
+            EXPECT_EQ(f.refDisplayNumbers[0], f.displayNumber - 2);
+        }
+    }
+}
+
+TEST(VideoKernel, EachFrameWrittenOncePerAddress)
+{
+    video::VideoConfig cfg;
+    cfg.width = 64;
+    cfg.height = 64;
+    cfg.numFrames = 12;
+    video::VideoKernel kernel(cfg);
+    core::InvariantChecker checker;
+    checker.observeTrace(kernel.generate());
+    auto report = checker.report();
+    EXPECT_TRUE(report.ok) << (report.violations.empty()
+                                   ? "?"
+                                   : report.violations.front());
+}
+
+TEST(VideoKernel, SecondBitstreamBumpsCtrIn)
+{
+    video::VideoConfig cfg;
+    cfg.width = 64;
+    cfg.height = 64;
+    cfg.numFrames = 8;
+    video::VideoKernel kernel(cfg);
+    core::InvariantChecker checker;
+    checker.observeTrace(kernel.generate());
+    checker.observeTrace(kernel.generate()); // CTR_IN = 2
+    EXPECT_TRUE(checker.report().ok);
+    EXPECT_EQ(core::vnValue(kernel.frameVn(3)), (2ull << 32) | 3);
+}
+
+TEST(VideoKernel, FunctionalDecodeThroughSecureMemory)
+{
+    // End-to-end §VII-A check: "decode" frames into SecureMemory with
+    // the CTR_IN||F rule, then re-read every reference exactly as the
+    // inter-prediction stage would, verifying plaintext and MACs.
+    video::VideoConfig cfg;
+    cfg.width = 32;
+    cfg.height = 32;
+    cfg.bytesPerPixel = 1.0;
+    cfg.numFrames = 8;
+    video::VideoKernel kernel(cfg);
+
+    protection::SecureMemoryConfig mcfg;
+    mcfg.encKey[0] = 1;
+    mcfg.macKey[0] = 2;
+    mcfg.macGranularity = 512;
+    protection::SecureMemory mem(mcfg);
+
+    const u64 fb = cfg.frameBytes(); // 1024, multiple of 512
+    ASSERT_EQ(fb % 512, 0u);
+    kernel.generate(); // advances CTR_IN to 1
+
+    auto frame_content = [fb](u32 f) {
+        std::vector<u8> data(fb);
+        for (u64 i = 0; i < fb; ++i)
+            data[i] = static_cast<u8>(f * 37 + i);
+        return data;
+    };
+
+    for (const auto &f : video::buildDecodeSchedule(cfg)) {
+        // Inter-prediction: read each reference and verify contents.
+        for (std::size_t r = 0; r < f.refDisplayNumbers.size(); ++r) {
+            std::vector<u8> ref(fb);
+            ASSERT_TRUE(mem.read(
+                kernel.bufferAddr(f.refBufferIndices[r]), ref,
+                kernel.frameVn(f.refDisplayNumbers[r])));
+            EXPECT_EQ(ref, frame_content(f.refDisplayNumbers[r]));
+        }
+        // Write the decoded frame with its own VN.
+        mem.write(kernel.bufferAddr(f.bufferIndex),
+                  frame_content(f.displayNumber),
+                  kernel.frameVn(f.displayNumber));
+    }
+
+    // A replayed stale frame buffer must be rejected.
+    auto snap = mem.snapshotBlock(kernel.bufferAddr(2));
+    mem.write(kernel.bufferAddr(2), frame_content(99),
+              kernel.frameVn(99));
+    mem.restoreBlock(snap);
+    std::vector<u8> out(fb);
+    EXPECT_FALSE(mem.read(kernel.bufferAddr(2), out, kernel.frameVn(99)));
+}
+
+} // namespace
+} // namespace mgx

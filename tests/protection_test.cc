@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Protection-layer tests: metadata layout math, the 32 KB metadata
+ * cache, and per-scheme traffic expansion of the timing engine,
+ * including exact expected byte counts for simple access patterns.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/access.h"
+#include "protection/meta_cache.h"
+#include "protection/metadata_layout.h"
+#include "protection/protection_engine.h"
+
+namespace mgx::protection {
+namespace {
+
+using core::LogicalAccess;
+
+ProtectionConfig
+smallConfig(Scheme scheme)
+{
+    ProtectionConfig cfg;
+    cfg.scheme = scheme;
+    cfg.protectedBytes = 1ull << 30; // 1 GB keeps the tree shallow
+    return cfg;
+}
+
+// -- MetadataLayout ------------------------------------------------------------
+
+TEST(MetadataLayout, RegionsAreDisjoint)
+{
+    MetadataLayout layout(smallConfig(Scheme::BP));
+    EXPECT_GE(layout.macBase(), 1ull << 30);
+    EXPECT_GT(layout.vnBase(), layout.macBase());
+    // MAC region sized for 64 B granularity: 1 GB / 64 * 8 = 128 MB.
+    EXPECT_EQ(layout.vnBase() - layout.macBase(), 128ull << 20);
+}
+
+TEST(MetadataLayout, MacLineSharing)
+{
+    MetadataLayout layout(smallConfig(Scheme::MGX));
+    // At 512 B granularity, 8 tags (64 B of tags) cover 4 KB of data.
+    Addr line0 = layout.macLineAddr(0, 512);
+    EXPECT_EQ(layout.macLineAddr(4095, 512), line0);
+    EXPECT_EQ(layout.macLineAddr(4096, 512), line0 + 64);
+}
+
+TEST(MetadataLayout, VnLineCovers512Data)
+{
+    MetadataLayout layout(smallConfig(Scheme::BP));
+    Addr line0 = layout.vnLineAddr(0);
+    EXPECT_EQ(layout.vnLineAddr(511), line0);
+    EXPECT_EQ(layout.vnLineAddr(512), line0 + 64);
+}
+
+TEST(MetadataLayout, TreeLevelsShrinkByArity)
+{
+    ProtectionConfig cfg = smallConfig(Scheme::BP);
+    MetadataLayout layout(cfg);
+    // 1 GB data -> 128 MB VN region -> 2M VN lines -> log8 ~ 7 levels
+    // down to a single root.
+    EXPECT_GE(layout.treeLevels(), 5u);
+    EXPECT_LE(layout.treeLevels(), 8u);
+    // Nodes on one path must live at increasing addresses per level.
+    Addr prev = 0;
+    for (u32 l = 1; l <= layout.treeLevels(); ++l) {
+        Addr node = layout.treeNodeAddr(l, 12345 * 64);
+        EXPECT_GT(node, prev);
+        prev = node;
+    }
+}
+
+TEST(MetadataLayout, OnChipVnSchemesHaveNoTree)
+{
+    EXPECT_EQ(MetadataLayout(smallConfig(Scheme::MGX)).treeLevels(), 0u);
+    EXPECT_EQ(MetadataLayout(smallConfig(Scheme::MGX_VN)).treeLevels(),
+              0u);
+    EXPECT_GT(MetadataLayout(smallConfig(Scheme::MGX_MAC)).treeLevels(),
+              0u);
+}
+
+TEST(MetadataLayout, MetadataFootprintMgxVsBp)
+{
+    // MGX stores only MACs; BP adds VNs + tree. BP footprint must be
+    // strictly larger.
+    EXPECT_LT(MetadataLayout(smallConfig(Scheme::MGX)).metadataBytes(),
+              MetadataLayout(smallConfig(Scheme::BP)).metadataBytes());
+}
+
+// -- MetaCache -----------------------------------------------------------------
+
+TEST(MetaCache, MissThenHit)
+{
+    MetaCache cache(32 << 10, 8);
+    EXPECT_FALSE(cache.access(0x1000, false).hit);
+    EXPECT_TRUE(cache.access(0x1000, false).hit);
+    EXPECT_TRUE(cache.access(0x1020, false).hit); // same 64 B line
+}
+
+TEST(MetaCache, DirtyEvictionReportsVictim)
+{
+    // 2-way, 2-set tiny cache: 4 lines of 64 B = 256 B.
+    MetaCache cache(256, 2);
+    ASSERT_EQ(cache.numSets(), 2u);
+    // Fill set 0 (line addresses with even line index).
+    EXPECT_FALSE(cache.access(0 * 64, true).hit);
+    EXPECT_FALSE(cache.access(2 * 64, true).hit);
+    // Third distinct line in set 0 evicts the LRU dirty line (0).
+    CacheResult r = cache.access(4 * 64, false);
+    EXPECT_FALSE(r.hit);
+    EXPECT_TRUE(r.writeback);
+    EXPECT_EQ(r.victimAddr, 0u);
+}
+
+TEST(MetaCache, LruOrderRespected)
+{
+    MetaCache cache(256, 2);
+    cache.access(0 * 64, false);
+    cache.access(2 * 64, false);
+    cache.access(0 * 64, false); // touch 0 -> 2 becomes LRU
+    cache.access(4 * 64, false); // evicts 2
+    EXPECT_TRUE(cache.access(0 * 64, false).hit);
+    EXPECT_FALSE(cache.access(2 * 64, false).hit);
+}
+
+TEST(MetaCache, CleanEvictionHasNoWriteback)
+{
+    MetaCache cache(256, 2);
+    cache.access(0 * 64, false);
+    cache.access(2 * 64, false);
+    CacheResult r = cache.access(4 * 64, false);
+    EXPECT_FALSE(r.writeback);
+}
+
+TEST(MetaCache, FlushReturnsAllDirtyLines)
+{
+    MetaCache cache(32 << 10, 8);
+    cache.access(0x0, true);
+    cache.access(0x40, true);
+    cache.access(0x80, false);
+    auto dirty = cache.flush();
+    EXPECT_EQ(dirty.size(), 2u);
+    // After flush everything misses again.
+    EXPECT_FALSE(cache.access(0x0, false).hit);
+}
+
+// -- ProtectionEngine traffic ----------------------------------------------------
+
+/** Data+metadata bytes for one logical access under a scheme. */
+TrafficBreakdown
+trafficFor(Scheme scheme, const LogicalAccess &acc)
+{
+    dram::DramSystem dram(dram::ddr4_2400(1));
+    ProtectionEngine engine(smallConfig(scheme), &dram);
+    engine.access(acc, 0);
+    return engine.traffic();
+}
+
+TEST(ProtectionEngine, NpIsDataOnly)
+{
+    TrafficBreakdown t = trafficFor(
+        Scheme::NP, {0, 4096, AccessType::Read, DataClass::Generic, 1, 0});
+    EXPECT_EQ(t.dataBytes, 4096u);
+    EXPECT_EQ(t.totalBytes(), 4096u);
+}
+
+TEST(ProtectionEngine, MgxRead4kExactly64MacBytes)
+{
+    // 4 KB aligned read at 512 B granularity: 8 tags = one 64 B line.
+    TrafficBreakdown t = trafficFor(
+        Scheme::MGX,
+        {0, 4096, AccessType::Read, DataClass::Generic, 1, 0});
+    EXPECT_EQ(t.dataBytes, 4096u);
+    EXPECT_EQ(t.macBytes, 64u);
+    EXPECT_EQ(t.vnBytes, 0u);
+    EXPECT_EQ(t.treeBytes, 0u);
+    EXPECT_EQ(t.expandBytes, 0u);
+    EXPECT_NEAR(t.overhead(), 0.0156, 0.001);
+}
+
+TEST(ProtectionEngine, MgxAlignedWriteNeedsNoMacFetch)
+{
+    TrafficBreakdown t = trafficFor(
+        Scheme::MGX,
+        {0, 4096, AccessType::Write, DataClass::Generic, 1, 0});
+    // The tag line is fully regenerated: one write, no RMW fetch.
+    EXPECT_EQ(t.macBytes, 64u);
+}
+
+TEST(ProtectionEngine, MgxPartialWriteReadsModifiesWrites)
+{
+    // A 256 B write inside one 512 B MAC block: the block's other 256 B
+    // must be fetched and the tag line read-modify-written.
+    TrafficBreakdown t = trafficFor(
+        Scheme::MGX,
+        {0, 256, AccessType::Write, DataClass::Generic, 1, 0});
+    EXPECT_EQ(t.dataBytes, 256u);
+    EXPECT_EQ(t.expandBytes, 256u);        // block remainder
+    EXPECT_EQ(t.macBytes, 128u);           // tag line read + write
+}
+
+TEST(ProtectionEngine, MgxVnUsesFineMacs)
+{
+    // 4 KB read with 64 B MACs: 64 tags = 8 tag lines = 512 B.
+    TrafficBreakdown t = trafficFor(
+        Scheme::MGX_VN,
+        {0, 4096, AccessType::Read, DataClass::Generic, 1, 0});
+    EXPECT_EQ(t.macBytes, 512u);
+    EXPECT_NEAR(t.overhead(), 0.125, 0.001);
+}
+
+TEST(ProtectionEngine, MacGranularityOverrideRespected)
+{
+    // DLRM-style: a 64 B gather with a 64 B MAC override costs exactly
+    // one tag line instead of forcing a 512 B block verification.
+    TrafficBreakdown coarse = trafficFor(
+        Scheme::MGX, {0, 64, AccessType::Read, DataClass::Weight, 1, 0});
+    TrafficBreakdown fine = trafficFor(
+        Scheme::MGX, {0, 64, AccessType::Read, DataClass::Weight, 1, 64});
+    EXPECT_EQ(coarse.expandBytes, 448u); // whole 512 B block fetched
+    EXPECT_EQ(fine.expandBytes, 0u);
+    EXPECT_EQ(fine.macBytes, 64u);
+}
+
+TEST(ProtectionEngine, BpStreamingReadOverhead)
+{
+    // Streaming 64 KB read under BP: per 512 B of data one VN line and
+    // one MAC line (both cold misses), plus tree reads that mostly hit
+    // after the first walk. Overhead must land near 25-30%.
+    dram::DramSystem dram(dram::ddr4_2400(1));
+    ProtectionEngine engine(smallConfig(Scheme::BP), &dram);
+    engine.access({0, 64 << 10, AccessType::Read, DataClass::Generic, 1,
+                   0},
+                  0);
+    TrafficBreakdown t = engine.traffic();
+    EXPECT_EQ(t.dataBytes, 64u << 10);
+    EXPECT_EQ(t.vnBytes, 8u << 10);  // 128 VN lines
+    EXPECT_EQ(t.macBytes, 8u << 10); // 128 MAC lines
+    EXPECT_GT(t.treeBytes, 0u);
+    double ovh = t.overhead();
+    EXPECT_GT(ovh, 0.25);
+    EXPECT_LT(ovh, 0.32);
+}
+
+TEST(ProtectionEngine, BpWriteCostsMoreThanRead)
+{
+    auto run = [](bool write) {
+        dram::DramSystem dram(dram::ddr4_2400(1));
+        ProtectionEngine engine(smallConfig(Scheme::BP), &dram);
+        engine.access({0, 1 << 20,
+                       write ? AccessType::Write : AccessType::Read,
+                       DataClass::Generic, 1, 0},
+                      0);
+        engine.flush(0);
+        return engine.traffic().overhead();
+    };
+    EXPECT_GT(run(true), run(false));
+}
+
+TEST(ProtectionEngine, TrafficOrderingAcrossSchemes)
+{
+    // For a mixed read/write streaming pattern the paper's ordering
+    // must hold: NP < MGX < MGX_VN and MGX_MAC < BP.
+    auto total = [](Scheme s) {
+        dram::DramSystem dram(dram::ddr4_2400(1));
+        ProtectionEngine engine(smallConfig(s), &dram);
+        Cycles t = 0;
+        for (int i = 0; i < 8; ++i) {
+            t = engine.access({static_cast<Addr>(i) << 20, 512 << 10,
+                               i % 2 ? AccessType::Write
+                                     : AccessType::Read,
+                               DataClass::Generic,
+                               static_cast<Vn>(i + 1), 0},
+                              t);
+        }
+        engine.flush(t);
+        return engine.traffic().totalBytes();
+    };
+    const u64 np = total(Scheme::NP);
+    const u64 mgx = total(Scheme::MGX);
+    const u64 mgx_vn = total(Scheme::MGX_VN);
+    const u64 mgx_mac = total(Scheme::MGX_MAC);
+    const u64 bp = total(Scheme::BP);
+    EXPECT_LT(np, mgx);
+    EXPECT_LT(mgx, mgx_vn);
+    EXPECT_LT(mgx, mgx_mac);
+    EXPECT_LT(mgx_vn, bp);
+    EXPECT_LT(mgx_mac, bp);
+}
+
+TEST(ProtectionEngine, CryptoLatencyOnReadPath)
+{
+    dram::DramSystem d1(dram::ddr4_2400(1));
+    ProtectionConfig cfg = smallConfig(Scheme::MGX);
+    ProtectionEngine e1(cfg, &d1);
+    Cycles read_done = e1.access(
+        {0, 512, AccessType::Read, DataClass::Generic, 1, 0}, 0);
+
+    dram::DramSystem d2(dram::ddr4_2400(1));
+    cfg.cryptoLatency = 0;
+    ProtectionEngine e2(cfg, &d2);
+    Cycles read_nolat = e2.access(
+        {0, 512, AccessType::Read, DataClass::Generic, 1, 0}, 0);
+    EXPECT_EQ(read_done, read_nolat + 40);
+}
+
+TEST(ProtectionEngine, MetaCacheAbsorbsRepeatedWalks)
+{
+    dram::DramSystem dram(dram::ddr4_2400(1));
+    ProtectionEngine engine(smallConfig(Scheme::BP), &dram);
+    engine.access({0, 512, AccessType::Read, DataClass::Generic, 1, 0},
+                  0);
+    const u64 tree_first = engine.traffic().treeBytes;
+    engine.access({512, 512, AccessType::Read, DataClass::Generic, 1, 0},
+                  0);
+    // The second access's tree walk hits cached ancestors immediately.
+    EXPECT_LT(engine.traffic().treeBytes - tree_first, tree_first + 1);
+}
+
+} // namespace
+} // namespace mgx::protection

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tests for the secure-session setup (§II) and the CHaiDNN case
+ * study (§VI-C).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dnn/chaidnn.h"
+#include "dnn/models.h"
+#include "protection/session.h"
+
+namespace mgx {
+namespace {
+
+using protection::AttestationReport;
+using protection::SecureSession;
+
+crypto::Key
+deviceSecret()
+{
+    crypto::Key k{};
+    for (int i = 0; i < 16; ++i)
+        k[static_cast<std::size_t>(i)] = static_cast<u8>(0xd0 + i);
+    return k;
+}
+
+std::vector<u8>
+bytes(const char *s)
+{
+    return {s, s + std::string(s).size()};
+}
+
+// -- SecureSession ----------------------------------------------------------------
+
+TEST(SecureSession, ReportVerifies)
+{
+    auto kernel = bytes("resnet50-kernel-v1");
+    SecureSession session(deviceSecret(), 12345, kernel,
+                          bytes("fw-1.0"), 1);
+    EXPECT_TRUE(SecureSession::verifyReport(
+        deviceSecret(), session.report(), crypto::sha256(kernel),
+        12345));
+}
+
+TEST(SecureSession, WrongKernelHashRejected)
+{
+    auto kernel = bytes("genuine-kernel");
+    SecureSession session(deviceSecret(), 7, kernel, bytes("fw"), 1);
+    EXPECT_FALSE(SecureSession::verifyReport(
+        deviceSecret(), session.report(),
+        crypto::sha256(bytes("malicious-kernel")), 7));
+}
+
+TEST(SecureSession, StaleNonceRejected)
+{
+    auto kernel = bytes("kernel");
+    SecureSession session(deviceSecret(), 7, kernel, bytes("fw"), 1);
+    EXPECT_FALSE(SecureSession::verifyReport(
+        deviceSecret(), session.report(), crypto::sha256(kernel), 8));
+}
+
+TEST(SecureSession, ForgedReportMacRejected)
+{
+    auto kernel = bytes("kernel");
+    SecureSession session(deviceSecret(), 7, kernel, bytes("fw"), 1);
+    AttestationReport forged = session.report();
+    forged.reportMac[0] ^= 1;
+    EXPECT_FALSE(SecureSession::verifyReport(
+        deviceSecret(), forged, crypto::sha256(kernel), 7));
+}
+
+TEST(SecureSession, FreshKeysPerSession)
+{
+    auto kernel = bytes("kernel");
+    SecureSession s1(deviceSecret(), 7, kernel, bytes("fw"), 1);
+    SecureSession s2(deviceSecret(), 7, kernel, bytes("fw"), 2);
+    EXPECT_NE(s1.encryptionKey(), s2.encryptionKey());
+    EXPECT_NE(s1.macKey(), s2.macKey());
+    EXPECT_NE(s1.encryptionKey(), s1.macKey());
+}
+
+TEST(SecureSession, KeysNeverEqualDeviceSecret)
+{
+    SecureSession s(deviceSecret(), 3, bytes("k"), bytes("f"), 9);
+    EXPECT_NE(s.encryptionKey(), deviceSecret());
+    EXPECT_NE(s.macKey(), deviceSecret());
+}
+
+TEST(SecureSession, EndToEndWithSecureMemory)
+{
+    // Full §II workflow: establish, verify attestation, then run
+    // protected reads/writes under the session keys.
+    auto kernel = bytes("matmul-kernel");
+    SecureSession session(deviceSecret(), 42, kernel, bytes("fw"), 5);
+    ASSERT_TRUE(SecureSession::verifyReport(deviceSecret(),
+                                            session.report(),
+                                            crypto::sha256(kernel),
+                                            42));
+    auto mem = session.makeSecureMemory(64);
+    std::vector<u8> data(64, 0x5a);
+    mem.write(0, data, 1);
+    std::vector<u8> out(64);
+    ASSERT_TRUE(mem.read(0, out, 1));
+    EXPECT_EQ(out, data);
+}
+
+// -- CHaiDNN -----------------------------------------------------------------------
+
+TEST(ChaiDnn, AlexNetUnderTwentyInstructions)
+{
+    // The paper's claim: AlexNet in fewer than 20 instructions.
+    auto program = dnn::compileForChai(dnn::alexnet());
+    EXPECT_LT(program.instructions.size(), 20u);
+    EXPECT_GE(program.instructions.size(), 11u); // 8 conv/fc + 3 pool
+}
+
+TEST(ChaiDnn, VnTableIsTiny)
+{
+    auto program = dnn::compileForChai(dnn::alexnet());
+    // One 8 B entry per instruction plus two counters.
+    EXPECT_EQ(program.vnTableBytes(),
+              (program.instructions.size() + 2) * 8);
+    EXPECT_LT(program.vnTableBytes(), 256u);
+}
+
+TEST(ChaiDnn, DenseLowersToConvolution)
+{
+    auto program = dnn::compileForChai(dnn::alexnet());
+    int convs = 0, pools = 0;
+    for (const auto &inst : program.instructions) {
+        convs += inst.op == dnn::ChaiOp::Convolution;
+        pools += inst.op == dnn::ChaiOp::Pooling;
+    }
+    EXPECT_EQ(convs, 8); // 5 conv + 3 fc
+    EXPECT_EQ(pools, 3);
+}
+
+TEST(ChaiDnn, EltwiseFusesAway)
+{
+    // ResNet's residual adds are fused, so instruction count is well
+    // below the layer count.
+    auto program = dnn::compileForChai(dnn::resnet50());
+    EXPECT_LT(program.instructions.size(),
+              dnn::resnet50().layers.size());
+}
+
+TEST(ChaiDnn, UnsupportedModelsRejected)
+{
+    EXPECT_FALSE(dnn::chaiSupports(dnn::dlrm()));
+    EXPECT_FALSE(dnn::chaiSupports(dnn::bertBase()));
+    EXPECT_TRUE(dnn::chaiSupports(dnn::vgg16()));
+    EXPECT_TRUE(dnn::chaiSupports(dnn::googlenet()));
+}
+
+TEST(ChaiDnn, DistinctVnTableSlots)
+{
+    auto program = dnn::compileForChai(dnn::vgg16());
+    for (std::size_t i = 0; i < program.instructions.size(); ++i)
+        EXPECT_EQ(program.instructions[i].vnTableIndex, i);
+}
+
+} // namespace
+} // namespace mgx

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * SHA-256 NIST known-answer tests and Merkle-tree integrity
+ * properties, including parameterized arity sweeps and tamper
+ * detection at every tree level.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "crypto/merkle_tree.h"
+#include "crypto/sha256.h"
+
+namespace mgx::crypto {
+namespace {
+
+std::string
+digestToHex(const Digest &d)
+{
+    static const char *hex = "0123456789abcdef";
+    std::string s;
+    for (u8 b : d) {
+        s.push_back(hex[b >> 4]);
+        s.push_back(hex[b & 0xf]);
+    }
+    return s;
+}
+
+std::vector<u8>
+bytesOf(const char *s)
+{
+    return {reinterpret_cast<const u8 *>(s),
+            reinterpret_cast<const u8 *>(s) + std::strlen(s)};
+}
+
+TEST(Sha256, EmptyString)
+{
+    EXPECT_EQ(digestToHex(sha256({})),
+              "e3b0c44298fc1c149afbf4c8996fb924"
+              "27ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc)
+{
+    EXPECT_EQ(digestToHex(sha256(bytesOf("abc"))),
+              "ba7816bf8f01cfea414140de5dae2223"
+              "b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage)
+{
+    EXPECT_EQ(
+        digestToHex(sha256(bytesOf(
+            "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+        "248d6a61d20638b8e5c026930c3e6039"
+        "a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, ExactlyOneBlockOfPadBoundary)
+{
+    // 56 bytes forces the two-block padding path.
+    std::vector<u8> msg(56, 'a');
+    Digest d1 = sha256(msg);
+    msg.push_back('a');
+    Digest d2 = sha256(msg);
+    EXPECT_NE(d1, d2);
+}
+
+TEST(Sha256, Prefix64)
+{
+    Digest d = sha256(bytesOf("abc"));
+    EXPECT_EQ(digestPrefix64(d), 0xba7816bf8f01cfeaull);
+}
+
+// -- Merkle tree ---------------------------------------------------------------
+
+TEST(MerkleTree, FreshTreeVerifiesEmptyLeaves)
+{
+    MerkleTree tree(10, 8);
+    EXPECT_TRUE(tree.verifyLeaf(0, {}));
+    EXPECT_TRUE(tree.verifyLeaf(9, {}));
+}
+
+TEST(MerkleTree, UpdateThenVerify)
+{
+    MerkleTree tree(64, 8);
+    auto data = bytesOf("version numbers");
+    tree.updateLeaf(7, data);
+    EXPECT_TRUE(tree.verifyLeaf(7, data));
+    EXPECT_TRUE(tree.verifyLeaf(8, {}));
+}
+
+TEST(MerkleTree, WrongDataFailsVerification)
+{
+    MerkleTree tree(64, 8);
+    tree.updateLeaf(7, bytesOf("correct"));
+    EXPECT_FALSE(tree.verifyLeaf(7, bytesOf("tampered")));
+}
+
+TEST(MerkleTree, RootChangesOnUpdate)
+{
+    MerkleTree tree(64, 8);
+    Digest before = tree.root();
+    tree.updateLeaf(0, bytesOf("x"));
+    EXPECT_NE(before, tree.root());
+}
+
+TEST(MerkleTree, TamperedLeafNodeDetected)
+{
+    MerkleTree tree(64, 8);
+    auto data = bytesOf("payload");
+    tree.updateLeaf(3, data);
+    tree.tamperNode(0, 4); // a stored sibling digest in "DRAM"
+    // Verifying leaf 4 itself recomputes its digest from the (empty)
+    // data, so the corrupted *stored* copy is not on that path...
+    EXPECT_TRUE(tree.verifyLeaf(4, {}));
+    // ...but any sibling verification consumes the stored copy and
+    // must fail: the attacker cannot forge a consistent group.
+    EXPECT_FALSE(tree.verifyLeaf(3, data));
+}
+
+TEST(MerkleTree, TamperedInteriorNodeDetected)
+{
+    MerkleTree tree(512, 8); // depth 3
+    ASSERT_GE(tree.depth(), 3u);
+    auto data = bytesOf("vn-line");
+    tree.updateLeaf(100, data);
+    tree.tamperNode(1, 100 / 8);
+    EXPECT_FALSE(tree.verifyLeaf(100, data));
+}
+
+TEST(MerkleTree, DepthGrowsLogarithmically)
+{
+    EXPECT_EQ(MerkleTree(8, 8).depth(), 1u);
+    EXPECT_EQ(MerkleTree(9, 8).depth(), 2u);
+    EXPECT_EQ(MerkleTree(64, 8).depth(), 2u);
+    EXPECT_EQ(MerkleTree(65, 8).depth(), 3u);
+    EXPECT_EQ(MerkleTree(512, 8).depth(), 3u);
+}
+
+/** Arity sweep: the integrity property must hold for any fan-out. */
+class MerkleArityTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(MerkleArityTest, UpdateVerifyAndTamper)
+{
+    const unsigned arity = GetParam();
+    MerkleTree tree(100, arity);
+    for (std::size_t i = 0; i < 100; i += 7) {
+        auto data = bytesOf(("leaf" + std::to_string(i)).c_str());
+        tree.updateLeaf(i, data);
+        EXPECT_TRUE(tree.verifyLeaf(i, data));
+    }
+    auto data0 = bytesOf("leaf0");
+    EXPECT_TRUE(tree.verifyLeaf(0, data0));
+    // Corrupt leaf 0's stored digest: every sibling in its group now
+    // fails to verify because the group hash no longer matches.
+    tree.tamperNode(0, 0);
+    EXPECT_FALSE(tree.verifyLeaf(1, {}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Arities, MerkleArityTest,
+                         ::testing::Values(2u, 4u, 8u, 16u));
+
+} // namespace
+} // namespace mgx::crypto

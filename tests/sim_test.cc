@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Performance-model and runner tests: compute/memory overlap, clock
+ * conversion, scheme comparison plumbing, and platform definitions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/matmul_kernel.h"
+#include "sim/runner.h"
+
+namespace mgx::sim {
+namespace {
+
+using core::LogicalAccess;
+using core::Phase;
+using core::Trace;
+using protection::ProtectionConfig;
+using protection::Scheme;
+
+Trace
+syntheticTrace(u64 phases, Cycles compute, u64 bytes)
+{
+    Trace trace;
+    for (u64 i = 0; i < phases; ++i) {
+        Phase p;
+        p.name = "p" + std::to_string(i);
+        p.computeCycles = compute;
+        p.accesses.push_back({i * (64ull << 20), bytes,
+                              AccessType::Read, DataClass::Generic,
+                              1, 0});
+        trace.push_back(std::move(p));
+    }
+    return trace;
+}
+
+RunResult
+runNp(const Trace &trace, double accel_mhz = 1200.0)
+{
+    dram::DramSystem dram(dram::ddr4_2400(1));
+    ProtectionConfig cfg;
+    cfg.scheme = Scheme::NP;
+    protection::ProtectionEngine engine(cfg, &dram);
+    PerfModel model(&engine, accel_mhz);
+    return model.run(trace);
+}
+
+TEST(PerfModel, ComputeBoundWorkloadHidesMemory)
+{
+    // Tiny traffic, huge compute: total ~= sum of compute.
+    RunResult r = runNp(syntheticTrace(10, 100000, 64));
+    EXPECT_NEAR(static_cast<double>(r.totalCycles), 10.0 * 100000,
+                0.05 * 10 * 100000);
+}
+
+TEST(PerfModel, MemoryBoundWorkloadTracksDram)
+{
+    // Huge traffic, no compute: total ~= memory stream time.
+    RunResult r = runNp(syntheticTrace(4, 1, 4 << 20));
+    EXPECT_GT(r.memoryCycles, r.computeCycles * 100);
+    EXPECT_GE(r.totalCycles, r.memoryCycles);
+}
+
+TEST(PerfModel, OverlapBeatsSerialExecution)
+{
+    // With double buffering, total < compute + memory.
+    RunResult r = runNp(syntheticTrace(8, 40000, 2 << 20));
+    EXPECT_LT(r.totalCycles, r.computeCycles + r.memoryCycles);
+    // And at least the max of both.
+    EXPECT_GE(r.totalCycles,
+              std::max(r.computeCycles, r.memoryCycles));
+}
+
+TEST(PerfModel, ClockConversionScalesCompute)
+{
+    // The same trace on a half-speed accelerator needs 2x the
+    // controller cycles for compute.
+    RunResult fast = runNp(syntheticTrace(4, 50000, 64), 1200.0);
+    RunResult slow = runNp(syntheticTrace(4, 50000, 64), 600.0);
+    EXPECT_NEAR(static_cast<double>(slow.computeCycles),
+                2.0 * static_cast<double>(fast.computeCycles), 8.0);
+}
+
+TEST(PerfModel, SecondsFollowControllerClock)
+{
+    RunResult r = runNp(syntheticTrace(1, 1200000, 64));
+    EXPECT_NEAR(r.seconds, 0.001, 0.0001); // 1.2M cycles @ 1.2 GHz
+}
+
+TEST(Runner, CompareSchemesNormalizes)
+{
+    core::MatMulParams params;
+    params.m = params.n = params.k = 256;
+    params.kTiles = 2;
+    core::MatMulKernel kernel(params);
+    Trace trace = kernel.generate();
+
+    ProtectionConfig base;
+    SchemeComparison cmp =
+        compareSchemes(trace, edgePlatform(), base, allSchemes());
+    ASSERT_EQ(cmp.results.size(), 5u);
+    EXPECT_DOUBLE_EQ(cmp.normalizedTime(Scheme::NP), 1.0);
+    EXPECT_GE(cmp.normalizedTime(Scheme::MGX), 1.0);
+    EXPECT_GE(cmp.normalizedTime(Scheme::BP),
+              cmp.normalizedTime(Scheme::MGX));
+    EXPECT_GT(cmp.trafficIncrease(Scheme::BP),
+              cmp.trafficIncrease(Scheme::MGX));
+}
+
+TEST(Runner, PlatformDefinitionsMatchPaper)
+{
+    EXPECT_EQ(cloudPlatform().dram.channels, 4u);
+    EXPECT_DOUBLE_EQ(cloudPlatform().clockMhz, 700.0);
+    EXPECT_EQ(edgePlatform().dram.channels, 1u);
+    EXPECT_DOUBLE_EQ(edgePlatform().clockMhz, 900.0);
+    EXPECT_DOUBLE_EQ(graphPlatform().clockMhz, 800.0);
+}
+
+TEST(Runner, FreshStatePerScheme)
+{
+    // Two identical compareSchemes calls must agree exactly: no state
+    // leaks between runs.
+    Trace trace = syntheticTrace(4, 1000, 1 << 20);
+    ProtectionConfig base;
+    SchemeComparison a =
+        compareSchemes(trace, edgePlatform(), base, trafficSchemes());
+    SchemeComparison b =
+        compareSchemes(trace, edgePlatform(), base, trafficSchemes());
+    for (auto scheme : trafficSchemes()) {
+        EXPECT_EQ(a.results[scheme].totalCycles,
+                  b.results[scheme].totalCycles);
+    }
+}
+
+} // namespace
+} // namespace mgx::sim
