@@ -105,9 +105,10 @@ TEST(MobileNet, DepthwiseLayersHaveTinyWeights)
 {
     dnn::Model m = dnn::mobilenetV1();
     for (const auto &l : m.layers) {
-        if (l.kind == dnn::LayerKind::Depthwise)
+        if (l.kind == dnn::LayerKind::Depthwise) {
             EXPECT_EQ(l.weightElems(),
                       static_cast<u64>(l.outC) * l.kH * l.kW);
+        }
     }
 }
 
@@ -207,9 +208,8 @@ TEST(DramTurnaround, AlternatingRwSlowerThanStreams)
     // Same requests, same rows: pure read stream + pure write stream
     // beats strictly alternating read/write on the same data.
     dram::DramSystem mixed(dram::ddr4_2400(1));
-    Cycles t = 0;
     for (int i = 0; i < 256; ++i)
-        t = mixed.access(
+        mixed.access(
             {static_cast<Addr>(i) * 64, (i % 2) == 1, 0});
     const Cycles mixed_done = mixed.lastCompletion();
 

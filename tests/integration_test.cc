@@ -188,9 +188,10 @@ TEST(IntegrationFunctional, TiledMatMulOverSecureMemory)
                 std::vector<u8> abuf(64), bbuf(64), cbuf(64, 0);
                 ASSERT_TRUE(mem.read(addr_a(ti, k), abuf, n));
                 ASSERT_TRUE(mem.read(addr_b(k, tj), bbuf, n));
-                if (k > 0)
+                if (k > 0) {
                     ASSERT_TRUE(
                         mem.read(addr_c(ti, tj), cbuf, vn_read));
+                }
                 // Multiply-accumulate the 4x4 tiles.
                 i32 at[16], bt[16], ct[16];
                 std::memcpy(at, abuf.data(), 64);

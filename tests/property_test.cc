@@ -192,8 +192,9 @@ TEST(MetaCacheProperty, MatchesReferenceModel)
         auto want = ref.access(addr, dirty);
         ASSERT_EQ(got.hit, want.hit) << "op " << i;
         ASSERT_EQ(got.writeback, want.writeback) << "op " << i;
-        if (want.writeback)
+        if (want.writeback) {
             ASSERT_EQ(got.victimAddr, want.victimAddr) << "op " << i;
+        }
     }
 }
 
