@@ -12,6 +12,10 @@
  * Expected shape: essentially flat through the tens-of-KB range, with
  * gains only once the cache approaches the workload's whole metadata
  * footprint.
+ *
+ * The traces are generated once and re-simulated at every sweep point
+ * through Experiment's explicit-trace path (the sweep changes only
+ * the protection config, not the schedule).
  */
 
 #include "bench_util.h"
@@ -27,22 +31,24 @@ main()
     bench::printHeader("BP traffic vs VN/MAC cache size",
                        {"cache(KB)", "ResNet", "DLRM"});
 
-    dnn::DnnKernel resnet(dnn::resnet50(), dnn::cloudAccel());
-    core::Trace resnet_trace = resnet.generate();
-    dnn::DnnKernel dlrm(dnn::dlrm(), dnn::cloudAccel());
-    core::Trace dlrm_trace = dlrm.generate();
+    core::Trace resnet_trace =
+        sim::makeKernel("dnn/ResNet")->generate();
+    core::Trace dlrm_trace = sim::makeKernel("dnn/DLRM")->generate();
 
     for (u32 kb : {8u, 16u, 32u, 64u, 128u, 512u, 2048u, 8192u}) {
         protection::ProtectionConfig base;
         base.metaCacheBytes = kb << 10;
-        auto rc = sim::compareSchemes(resnet_trace,
-                                      sim::cloudPlatform(), base,
-                                      {Scheme::NP, Scheme::BP});
-        auto dc = sim::compareSchemes(dlrm_trace, sim::cloudPlatform(),
-                                      base, {Scheme::NP, Scheme::BP});
-        bench::printRow(std::to_string(kb),
-                        {rc.trafficIncrease(Scheme::BP),
-                         dc.trafficIncrease(Scheme::BP)});
+        sim::ResultSet rs = sim::Experiment()
+                                .trace("ResNet", resnet_trace)
+                                .trace("DLRM", dlrm_trace)
+                                .platform(sim::cloudPlatform())
+                                .schemes({Scheme::NP, Scheme::BP})
+                                .config(base)
+                                .run();
+        bench::printRow(
+            std::to_string(kb),
+            {rs.trafficIncrease("ResNet", "Cloud", Scheme::BP).value(),
+             rs.trafficIncrease("DLRM", "Cloud", Scheme::BP).value()});
     }
     std::printf("(paper claim: streaming workloads see no benefit "
                 "from a larger cache until it captures cross-layer "

@@ -5,6 +5,11 @@
  * gathers punish coarse granularities with read amplification —
  * the design-choice analysis behind the paper's 512 B default and the
  * DLRM 64 B exception (§VI-A, Memory Protection).
+ *
+ * Traces are generated once; the per-point Experiment re-simulates
+ * them under the swept config. The "coarse" DLRM variant strips the
+ * per-access fine-MAC override from the trace, which is exactly what
+ * Experiment's explicit-trace path exists for.
  */
 
 #include "bench_util.h"
@@ -19,34 +24,35 @@ main()
     bench::printHeader("traffic increase vs granularity",
                        {"gran(B)", "ResNet", "DLRM", "DLRM-fine-emb"});
 
+    core::Trace resnet_trace =
+        sim::makeKernel("dnn/ResNet")->generate();
+
+    // DLRM with the embedding override active (64 B fine MACs on
+    // tables) vs suppressed (tables use the sweep granularity).
+    core::Trace fine_trace = sim::makeKernel("dnn/DLRM")->generate();
+    core::Trace coarse_trace = fine_trace;
+    for (auto &phase : coarse_trace)
+        for (auto &acc : phase.accesses)
+            acc.macGranularity = 0; // default for every access
+
     for (u32 gran : {64u, 128u, 256u, 512u, 1024u, 2048u, 4096u}) {
         protection::ProtectionConfig base;
         base.macGranularity = gran;
-
-        dnn::DnnKernel resnet(dnn::resnet50(), dnn::cloudAccel());
-        auto rc = sim::compareSchemes(resnet.generate(),
-                                      sim::cloudPlatform(), base,
-                                      {Scheme::NP, Scheme::MGX});
-
-        // DLRM with the embedding override active (64 B fine MACs on
-        // tables) vs suppressed (tables use the sweep granularity).
-        dnn::DnnKernel dlrm_fine(dnn::dlrm(), dnn::cloudAccel());
-        core::Trace fine_trace = dlrm_fine.generate();
-        core::Trace coarse_trace = fine_trace;
-        for (auto &phase : coarse_trace)
-            for (auto &acc : phase.accesses)
-                acc.macGranularity = 0; // default for every access
-        auto dc = sim::compareSchemes(coarse_trace,
-                                      sim::cloudPlatform(), base,
-                                      {Scheme::NP, Scheme::MGX});
-        auto df = sim::compareSchemes(fine_trace, sim::cloudPlatform(),
-                                      base,
-                                      {Scheme::NP, Scheme::MGX});
-
-        bench::printRow(std::to_string(gran),
-                        {rc.trafficIncrease(Scheme::MGX),
-                         dc.trafficIncrease(Scheme::MGX),
-                         df.trafficIncrease(Scheme::MGX)});
+        sim::ResultSet rs = sim::Experiment()
+                                .trace("ResNet", resnet_trace)
+                                .trace("DLRM", coarse_trace)
+                                .trace("DLRM-fine", fine_trace)
+                                .platform(sim::cloudPlatform())
+                                .schemes({Scheme::NP, Scheme::MGX})
+                                .config(base)
+                                .run();
+        bench::printRow(
+            std::to_string(gran),
+            {rs.trafficIncrease("ResNet", "Cloud", Scheme::MGX)
+                 .value(),
+             rs.trafficIncrease("DLRM", "Cloud", Scheme::MGX).value(),
+             rs.trafficIncrease("DLRM-fine", "Cloud", Scheme::MGX)
+                 .value()});
     }
     std::printf("(expected: streaming ResNet improves monotonically "
                 "with coarser MACs; DLRM without the fine-grained "

@@ -9,13 +9,16 @@
  * Expected shape: every bar between ~23% and ~55%; training above
  * inference; VN overhead (incl. tree) comparable to or above MAC
  * overhead; DLRM the worst case.
+ *
+ * One Experiment covers the whole figure: with no platform axis set,
+ * each workload runs on its domain's paper platform (DNN on Cloud,
+ * graph on the GraphLily-like accelerator).
  */
 
 #include <cstdio>
 
 #include "bench_util.h"
 #include "graph/graph_gen.h"
-#include "graph/graph_kernel.h"
 
 namespace mgx {
 namespace {
@@ -40,28 +43,6 @@ breakdownOf(const sim::RunResult &bp)
     return b;
 }
 
-Breakdown
-dnnBreakdown(const std::string &model, dnn::DnnTask task)
-{
-    auto cmp = bench::runDnnWorkload(model, task, /*edge=*/false,
-                                     {Scheme::BP});
-    return breakdownOf(cmp.results[Scheme::BP]);
-}
-
-Breakdown
-graphBreakdown(const graph::GraphSpec &spec, graph::GraphAlgorithm alg)
-{
-    graph::GraphTiles tiles = graph::buildTiles(spec, 512 << 10,
-                                                512 << 10, 11);
-    graph::GraphKernel kernel(tiles, alg, alg ==
-                              graph::GraphAlgorithm::PageRank ? 3 : 4);
-    core::Trace trace = kernel.generate();
-    protection::ProtectionConfig base;
-    auto cmp = sim::compareSchemes(trace, sim::graphPlatform(), base,
-                                   {Scheme::BP});
-    return breakdownOf(cmp.results[Scheme::BP]);
-}
-
 void
 row(const std::string &name, const Breakdown &b, double &sum, int &n)
 {
@@ -69,6 +50,12 @@ row(const std::string &name, const Breakdown &b, double &sum, int &n)
                 b.total);
     sum += b.total;
     ++n;
+}
+
+std::string
+graphWorkload(const std::string &graph_name, const char *alg)
+{
+    return "graph/" + graph_name + "/" + alg;
 }
 
 } // namespace
@@ -82,23 +69,36 @@ main()
                 "protection (%% of data traffic)\n");
     std::printf("%-22s %8s %8s %8s\n", "workload", "MAC", "VN", "total");
 
+    sim::Experiment experiment;
+    for (const auto &m : bench::inferenceModels())
+        experiment.workload(bench::dnnWorkload(m, false));
+    for (const auto &m : bench::trainingModels())
+        experiment.workload(bench::dnnWorkload(m, true));
+    for (const auto &g : graph::paperGraphs())
+        for (const char *alg : {"pagerank", "bfs"})
+            experiment.workload(graphWorkload(g.name, alg));
+    sim::ResultSet rs = experiment.schemes({Scheme::BP}).run();
+
+    auto bp = [&](const std::string &w, const char *platform) {
+        return breakdownOf(*rs.find(w, platform, Scheme::BP));
+    };
+
     double sum_inf = 0, sum_train = 0, sum_pr = 0, sum_bfs = 0;
     int n_inf = 0, n_train = 0, n_pr = 0, n_bfs = 0;
 
     for (const auto &m : bench::inferenceModels())
-        row(m + "-Inf", dnnBreakdown(m, dnn::DnnTask::Inference),
+        row(m + "-Inf", bp(bench::dnnWorkload(m, false), "Cloud"),
             sum_inf, n_inf);
     for (const auto &m : bench::trainingModels())
-        row(m + "-Train", dnnBreakdown(m, dnn::DnnTask::Training),
+        row(m + "-Train", bp(bench::dnnWorkload(m, true), "Cloud"),
             sum_train, n_train);
     for (const auto &g : graph::paperGraphs())
         row("PR-" + g.name,
-            graphBreakdown(g, graph::GraphAlgorithm::PageRank), sum_pr,
+            bp(graphWorkload(g.name, "pagerank"), "Graph"), sum_pr,
             n_pr);
     for (const auto &g : graph::paperGraphs())
-        row("BFS-" + g.name,
-            graphBreakdown(g, graph::GraphAlgorithm::BFS), sum_bfs,
-            n_bfs);
+        row("BFS-" + g.name, bp(graphWorkload(g.name, "bfs"), "Graph"),
+            sum_bfs, n_bfs);
 
     std::printf("\naverages (paper: Inf 36.1%%, Train 40.4%%, "
                 "PR 26.3%%, BFS 25.6%%):\n");

@@ -6,6 +6,10 @@
  *
  * Expected shape: BP ~1.3-1.55x (DLRM worst), MGX ~1.02-1.04x;
  * training above inference for BP.
+ *
+ * Each section is one Experiment: the full model x platform x scheme
+ * grid runs on the thread pool, with each model's trace generated
+ * once per accelerator config.
  */
 
 #include "bench_util.h"
@@ -17,21 +21,27 @@ using protection::Scheme;
 
 void
 runSection(const char *title, const std::vector<std::string> &models,
-           dnn::DnnTask task, double paper_bp_cloud,
-           double paper_mgx_cloud)
+           bool training, double paper_bp_cloud, double paper_mgx_cloud)
 {
     bench::printHeader(title, {"model", "Cloud-MGX", "Cloud-BP",
                                "Edge-MGX", "Edge-BP"});
+    sim::Experiment experiment;
+    for (const auto &m : models)
+        experiment.workload(bench::dnnWorkload(m, training));
+    sim::ResultSet rs =
+        experiment
+            .platforms({sim::cloudPlatform(), sim::edgePlatform()})
+            .schemes({Scheme::NP, Scheme::MGX, Scheme::BP})
+            .run();
+
     double sums[4] = {};
     for (const auto &m : models) {
-        auto cloud = bench::runDnnWorkload(
-            m, task, false, {Scheme::NP, Scheme::MGX, Scheme::BP});
-        auto edge = bench::runDnnWorkload(
-            m, task, true, {Scheme::NP, Scheme::MGX, Scheme::BP});
-        const double v[4] = {cloud.trafficIncrease(Scheme::MGX),
-                             cloud.trafficIncrease(Scheme::BP),
-                             edge.trafficIncrease(Scheme::MGX),
-                             edge.trafficIncrease(Scheme::BP)};
+        const std::string w = bench::dnnWorkload(m, training);
+        const double v[4] = {
+            rs.trafficIncrease(w, "Cloud", Scheme::MGX).value(),
+            rs.trafficIncrease(w, "Cloud", Scheme::BP).value(),
+            rs.trafficIncrease(w, "Edge", Scheme::MGX).value(),
+            rs.trafficIncrease(w, "Edge", Scheme::BP).value()};
         bench::printRow(m, {v[0], v[1], v[2], v[3]});
         for (int i = 0; i < 4; ++i)
             sums[i] += v[i];
@@ -54,8 +64,8 @@ main()
     std::printf("Figure 12: DNN memory traffic increase "
                 "(normalized to no protection)\n");
     runSection("(a) inference", bench::inferenceModels(),
-               dnn::DnnTask::Inference, 1.360, 1.024);
+               /*training=*/false, 1.360, 1.024);
     runSection("(b) training", bench::trainingModels(),
-               dnn::DnnTask::Training, 1.378, 1.027);
+               /*training=*/true, 1.378, 1.027);
     return 0;
 }

@@ -19,24 +19,30 @@ using protection::Scheme;
 
 void
 runSection(const char *title, const std::vector<std::string> &models,
-           dnn::DnnTask task)
+           bool training)
 {
     bench::printHeader(
         title, {"model", "C-MGX", "C-MGXVN", "C-MGXMAC", "C-BP",
                 "E-MGX", "E-MGXVN", "E-MGXMAC", "E-BP"});
-    const std::vector<Scheme> schemes = sim::allSchemes();
+    sim::Experiment experiment;
+    for (const auto &m : models)
+        experiment.workload(bench::dnnWorkload(m, training));
+    sim::ResultSet rs =
+        experiment
+            .platforms({sim::cloudPlatform(), sim::edgePlatform()})
+            .schemes(sim::allSchemes())
+            .run();
+
+    const Scheme cols[] = {Scheme::MGX, Scheme::MGX_VN,
+                           Scheme::MGX_MAC, Scheme::BP};
     double sums[8] = {};
     for (const auto &m : models) {
-        auto cloud = bench::runDnnWorkload(m, task, false, schemes);
-        auto edge = bench::runDnnWorkload(m, task, true, schemes);
-        const double v[8] = {cloud.normalizedTime(Scheme::MGX),
-                             cloud.normalizedTime(Scheme::MGX_VN),
-                             cloud.normalizedTime(Scheme::MGX_MAC),
-                             cloud.normalizedTime(Scheme::BP),
-                             edge.normalizedTime(Scheme::MGX),
-                             edge.normalizedTime(Scheme::MGX_VN),
-                             edge.normalizedTime(Scheme::MGX_MAC),
-                             edge.normalizedTime(Scheme::BP)};
+        const std::string w = bench::dnnWorkload(m, training);
+        double v[8];
+        for (int i = 0; i < 4; ++i) {
+            v[i] = rs.normalizedTime(w, "Cloud", cols[i]).value();
+            v[4 + i] = rs.normalizedTime(w, "Edge", cols[i]).value();
+        }
         bench::printRow(m, {v[0], v[1], v[2], v[3], v[4], v[5], v[6],
                             v[7]});
         for (int i = 0; i < 8; ++i)
@@ -64,8 +70,8 @@ main()
     std::printf("Figure 13: normalized DNN execution time "
                 "(paper: MGX 3.2%% inf / 4.7%% train; BP 1.24-1.32x)\n");
     runSection("(a) inference", bench::inferenceModels(),
-               dnn::DnnTask::Inference);
+               /*training=*/false);
     runSection("(b) training", bench::trainingModels(),
-               dnn::DnnTask::Training);
+               /*training=*/true);
     return 0;
 }

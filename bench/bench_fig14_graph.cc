@@ -7,29 +7,24 @@
  * Expected shape: BP ~1.25x traffic / up to 1.42x slowdown; MGX
  * ~1.015x traffic / ~1.05x time; ablations in between (MGX_VN ~1.09x,
  * MGX_MAC ~1.18x time on average).
+ *
+ * One Experiment runs all graph x algorithm x scheme cells in
+ * parallel; both sub-figures read from the same ResultSet (per-scheme
+ * results are independent, so sharing runs changes nothing).
  */
 
 #include "bench_util.h"
 #include "graph/graph_gen.h"
-#include "graph/graph_kernel.h"
 
 namespace mgx {
 namespace {
 
 using protection::Scheme;
 
-sim::SchemeComparison
-runGraph(const graph::GraphSpec &spec, graph::GraphAlgorithm alg,
-         const std::vector<Scheme> &schemes)
+std::string
+workloadName(const std::string &graph_name, const char *alg)
 {
-    graph::GraphTiles tiles =
-        graph::buildTiles(spec, 512 << 10, 512 << 10, 11);
-    graph::GraphKernel kernel(
-        tiles, alg, alg == graph::GraphAlgorithm::PageRank ? 3 : 4);
-    core::Trace trace = kernel.generate();
-    protection::ProtectionConfig base;
-    return sim::compareSchemes(trace, sim::graphPlatform(), base,
-                               schemes);
+    return "graph/" + graph_name + "/" + alg;
 }
 
 } // namespace
@@ -42,18 +37,29 @@ main()
     std::printf("Figure 14: graph accelerator under memory "
                 "protection (scaled graphs, see DESIGN.md)\n");
 
+    sim::Experiment experiment;
+    for (const auto &spec : graph::paperGraphs())
+        for (const char *alg : {"pagerank", "bfs"})
+            experiment.workload(workloadName(spec.name, alg));
+    sim::ResultSet rs = experiment.schemes(sim::allSchemes()).run();
+
+    auto traffic = [&](const std::string &w, Scheme s) {
+        return rs.trafficIncrease(w, "Graph", s).value();
+    };
+    auto time = [&](const std::string &w, Scheme s) {
+        return rs.normalizedTime(w, "Graph", s).value();
+    };
+
     bench::printHeader("(a) memory traffic increase",
                        {"graph", "PR-MGX", "PR-BP", "BFS-MGX",
                         "BFS-BP"});
     for (const auto &spec : graph::paperGraphs()) {
-        auto pr = runGraph(spec, graph::GraphAlgorithm::PageRank,
-                           {Scheme::NP, Scheme::MGX, Scheme::BP});
-        auto bfs = runGraph(spec, graph::GraphAlgorithm::BFS,
-                            {Scheme::NP, Scheme::MGX, Scheme::BP});
-        bench::printRow(spec.name, {pr.trafficIncrease(Scheme::MGX),
-                                    pr.trafficIncrease(Scheme::BP),
-                                    bfs.trafficIncrease(Scheme::MGX),
-                                    bfs.trafficIncrease(Scheme::BP)});
+        const std::string pr = workloadName(spec.name, "pagerank");
+        const std::string bfs = workloadName(spec.name, "bfs");
+        bench::printRow(spec.name, {traffic(pr, Scheme::MGX),
+                                    traffic(pr, Scheme::BP),
+                                    traffic(bfs, Scheme::MGX),
+                                    traffic(bfs, Scheme::BP)});
     }
 
     bench::printHeader("(b) normalized execution time",
@@ -63,18 +69,16 @@ main()
     double sums[8] = {};
     int n = 0;
     for (const auto &spec : graph::paperGraphs()) {
-        auto pr = runGraph(spec, graph::GraphAlgorithm::PageRank,
-                           sim::allSchemes());
-        auto bfs = runGraph(spec, graph::GraphAlgorithm::BFS,
-                            sim::allSchemes());
-        const double v[8] = {pr.normalizedTime(Scheme::MGX),
-                             pr.normalizedTime(Scheme::MGX_VN),
-                             pr.normalizedTime(Scheme::MGX_MAC),
-                             pr.normalizedTime(Scheme::BP),
-                             bfs.normalizedTime(Scheme::MGX),
-                             bfs.normalizedTime(Scheme::MGX_VN),
-                             bfs.normalizedTime(Scheme::MGX_MAC),
-                             bfs.normalizedTime(Scheme::BP)};
+        const std::string pr = workloadName(spec.name, "pagerank");
+        const std::string bfs = workloadName(spec.name, "bfs");
+        const double v[8] = {time(pr, Scheme::MGX),
+                             time(pr, Scheme::MGX_VN),
+                             time(pr, Scheme::MGX_MAC),
+                             time(pr, Scheme::BP),
+                             time(bfs, Scheme::MGX),
+                             time(bfs, Scheme::MGX_VN),
+                             time(bfs, Scheme::MGX_MAC),
+                             time(bfs, Scheme::BP)};
         bench::printRow(spec.name, {v[0], v[1], v[2], v[3], v[4], v[5],
                                     v[6], v[7]});
         for (int i = 0; i < 8; ++i)
@@ -93,23 +97,18 @@ main()
     // still cuts most of the metadata traffic.
     bench::printHeader("SpMSpV (random vector gathers), pokec",
                        {"access", "MGX", "BP"});
-    for (auto va : {graph::VectorAccess::Sequential,
-                    graph::VectorAccess::Random}) {
-        graph::GraphSpec spec = graph::graphByName("pokec");
-        graph::GraphTiles tiles =
-            graph::buildTiles(spec, 512 << 10, 512 << 10, 11);
-        graph::GraphKernel kernel(
-            tiles, graph::GraphAlgorithm::PageRank, 2, {}, va);
-        core::Trace trace = kernel.generate();
-        protection::ProtectionConfig base;
-        auto cmp = sim::compareSchemes(
-            trace, sim::graphPlatform(), base,
-            {Scheme::NP, Scheme::MGX, Scheme::BP});
-        bench::printRow(va == graph::VectorAccess::Sequential
-                            ? "SpMV"
-                            : "SpMSpV",
-                        {cmp.trafficIncrease(Scheme::MGX),
-                         cmp.trafficIncrease(Scheme::BP)});
+    sim::ResultSet spmspv =
+        sim::Experiment()
+            .workloads({"graph/pokec/pagerank?iters=2&vector=seq",
+                        "graph/pokec/pagerank?iters=2&vector=random"})
+            .schemes({Scheme::NP, Scheme::MGX, Scheme::BP})
+            .run();
+    for (const auto &w : spmspv.workloads()) {
+        const bool random = w.find("random") != std::string::npos;
+        bench::printRow(
+            random ? "SpMSpV" : "SpMV",
+            {spmspv.trafficIncrease(w, "Graph", Scheme::MGX).value(),
+             spmspv.trafficIncrease(w, "Graph", Scheme::BP).value()});
     }
     return 0;
 }

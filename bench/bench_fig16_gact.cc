@@ -11,37 +11,38 @@
  */
 
 #include "bench_util.h"
-#include "genome/genome_kernel.h"
-
-namespace mgx {
-namespace {
-
-using protection::Scheme;
-
-} // namespace
-} // namespace mgx
+#include "genome/gact.h"
 
 int
 main()
 {
     using namespace mgx;
+    using protection::Scheme;
+
     std::printf("Figure 16: GACT normalized execution time\n");
     bench::printHeader("GACT (reference-guided assembly)",
                        {"workload", "MGX_VN", "BP", "t-MGX_VN",
                         "t-BP"});
+
+    sim::Experiment experiment;
+    for (const auto &workload : genome::paperWorkloads(64))
+        experiment.workload("genome/" + workload.name);
+    sim::ResultSet rs =
+        experiment.schemes({Scheme::NP, Scheme::MGX_VN, Scheme::BP})
+            .run();
+
     double sum_vn = 0, sum_bp = 0, sum_tvn = 0, sum_tbp = 0;
     int n = 0;
     for (const auto &workload : genome::paperWorkloads(64)) {
-        genome::GenomeKernel kernel(workload);
-        core::Trace trace = kernel.generate();
-        protection::ProtectionConfig base;
-        auto cmp = sim::compareSchemes(
-            trace, sim::genomePlatform(), base,
-            {Scheme::NP, Scheme::MGX_VN, Scheme::BP});
-        const double vn = cmp.normalizedTime(Scheme::MGX_VN);
-        const double bp = cmp.normalizedTime(Scheme::BP);
-        const double tvn = cmp.trafficIncrease(Scheme::MGX_VN);
-        const double tbp = cmp.trafficIncrease(Scheme::BP);
+        const std::string w = "genome/" + workload.name;
+        const double vn =
+            rs.normalizedTime(w, "Genome", Scheme::MGX_VN).value();
+        const double bp =
+            rs.normalizedTime(w, "Genome", Scheme::BP).value();
+        const double tvn =
+            rs.trafficIncrease(w, "Genome", Scheme::MGX_VN).value();
+        const double tbp =
+            rs.trafficIncrease(w, "Genome", Scheme::BP).value();
         bench::printRow(workload.name, {vn, bp, tvn, tbp});
         sum_vn += vn;
         sum_bp += bp;

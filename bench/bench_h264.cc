@@ -22,18 +22,18 @@ main()
     std::printf("H.264 decoder case study (Figs. 17-19)\n");
 
     // Timing: a 1080p IBPB stream.
-    video::VideoConfig cfg;
-    cfg.numFrames = 16;
-    video::VideoKernel kernel(cfg);
-    core::Trace trace = kernel.generate();
-    protection::ProtectionConfig base;
-    auto cmp = sim::compareSchemes(trace, sim::genomePlatform(), base,
-                                   sim::allSchemes());
+    const std::string w = "video/h264?frames=16";
+    sim::ResultSet rs = sim::Experiment()
+                            .workload(w)
+                            .schemes(sim::allSchemes())
+                            .run();
     bench::printHeader("1080p IBPB decode, 16 frames",
                        {"scheme", "norm-time", "traffic"});
     for (Scheme s : sim::allSchemes()) {
-        bench::printRow(protection::schemeName(s),
-                        {cmp.normalizedTime(s), cmp.trafficIncrease(s)});
+        bench::printRow(
+            protection::schemeName(s),
+            {rs.normalizedTime(w, "Genome", s).value(),
+             rs.trafficIncrease(w, "Genome", s).value()});
     }
 
     // Functional pass: decode QCIF frames through SecureMemory and

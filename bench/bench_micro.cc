@@ -20,6 +20,8 @@
 #include "dram/dram_system.h"
 #include "protection/meta_cache.h"
 #include "protection/protection_engine.h"
+#include "sim/experiment.h"
+#include "sim/workload_registry.h"
 
 namespace {
 
@@ -154,6 +156,34 @@ BM_DnnTraceGeneration(benchmark::State &state)
     }
 }
 BENCHMARK(BM_DnnTraceGeneration);
+
+void
+BM_RegistryMakeKernel(benchmark::State &state)
+{
+    // Name parse + model build, without trace generation.
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            sim::makeKernel("dnn/resnet50?task=inference"));
+    }
+}
+BENCHMARK(BM_RegistryMakeKernel);
+
+void
+BM_ExperimentMatMulGrid(benchmark::State &state)
+{
+    // A full scheme grid through the experiment thread pool; range is
+    // the worker count (0 = all cores), so the pool's scaling is
+    // measurable against the serial baseline.
+    for (auto _ : state) {
+        sim::ResultSet rs =
+            sim::Experiment()
+                .workload("core/matmul?m=256&n=256&k=256")
+                .threads(static_cast<u32>(state.range(0)))
+                .run();
+        benchmark::DoNotOptimize(rs.records().data());
+    }
+}
+BENCHMARK(BM_ExperimentMatMulGrid)->Arg(1)->Arg(0);
 
 } // namespace
 

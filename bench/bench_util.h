@@ -1,7 +1,8 @@
 /**
  * @file
- * Shared helpers for the figure-reproduction benches: fixed-width
- * table printing and the standard workload -> SchemeComparison runs.
+ * Shared formatting glue for the figure-reproduction benches:
+ * fixed-width table printing and the registry names of the paper's
+ * DNN workload lists. The actual runs go through sim::Experiment.
  */
 
 #ifndef MGX_BENCH_BENCH_UTIL_H
@@ -11,9 +12,8 @@
 #include <string>
 #include <vector>
 
-#include "dnn/dnn_kernel.h"
-#include "dnn/models.h"
-#include "sim/runner.h"
+#include "sim/experiment.h"
+#include "sim/workload_registry.h"
 
 namespace mgx::bench {
 
@@ -41,22 +41,6 @@ printRow(const std::string &label, const std::vector<double> &values)
     std::printf("\n");
 }
 
-/** Run one DNN workload on a platform and compare schemes. */
-inline sim::SchemeComparison
-runDnnWorkload(const std::string &model_name, dnn::DnnTask task,
-               bool edge, const std::vector<protection::Scheme> &schemes)
-{
-    dnn::DnnKernel kernel(dnn::modelByName(model_name),
-                          edge ? dnn::edgeAccel() : dnn::cloudAccel(),
-                          task);
-    core::Trace trace = kernel.generate();
-    protection::ProtectionConfig base;
-    return sim::compareSchemes(trace,
-                               edge ? sim::edgePlatform()
-                                    : sim::cloudPlatform(),
-                               base, schemes);
-}
-
 /** The models the paper plots for inference and training. */
 inline std::vector<std::string>
 inferenceModels()
@@ -68,6 +52,14 @@ inline std::vector<std::string>
 trainingModels()
 {
     return {"VGG", "AlexNet", "GoogleNet", "ResNet", "BERT"};
+}
+
+/** Registry name of one DNN workload ("dnn/VGG?task=training"). */
+inline std::string
+dnnWorkload(const std::string &model, bool training)
+{
+    return "dnn/" + model +
+           (training ? "?task=training" : "?task=inference");
 }
 
 } // namespace mgx::bench

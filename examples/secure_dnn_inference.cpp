@@ -17,7 +17,7 @@
 
 #include "dnn/dnn_kernel.h"
 #include "dnn/models.h"
-#include "sim/runner.h"
+#include "sim/experiment.h"
 
 int
 main(int argc, char **argv)
@@ -50,24 +50,35 @@ main(int argc, char **argv)
                 static_cast<double>(core::traceDataBytes(trace)) / 1e6,
                 static_cast<unsigned long long>(kernel.vnStateBytes()));
 
-    protection::ProtectionConfig base;
-    sim::Platform platform =
+    const sim::Platform platform =
         edge ? sim::edgePlatform() : sim::cloudPlatform();
-    sim::SchemeComparison cmp =
-        sim::compareSchemes(trace, platform, base, sim::allSchemes());
+    sim::ResultSet rs = sim::Experiment()
+                            .trace(model_name, trace)
+                            .platform(platform)
+                            .schemes(sim::allSchemes())
+                            .run();
 
     std::printf("%-8s %10s %10s %12s %14s\n", "scheme", "time(ms)",
                 "norm.", "traffic", "images/s");
     for (Scheme s : sim::allSchemes()) {
-        const auto &r = cmp.results[s];
-        std::printf("%-8s %10.3f %10.3f %12.3f %14.1f\n",
-                    protection::schemeName(s), r.seconds * 1e3,
-                    cmp.normalizedTime(s), cmp.trafficIncrease(s),
-                    static_cast<double>(kernel.batch()) / r.seconds);
+        const auto &r = *rs.find(model_name, platform.name, s);
+        std::printf(
+            "%-8s %10.3f %10.3f %12.3f %14.1f\n",
+            protection::schemeName(s), r.seconds * 1e3,
+            rs.normalizedTime(model_name, platform.name, s).value(),
+            rs.trafficIncrease(model_name, platform.name, s).value(),
+            static_cast<double>(kernel.batch()) / r.seconds);
     }
-    std::printf("\nMGX costs %.1f%% over no protection; the baseline "
-                "costs %.1f%%.\n",
-                100.0 * (cmp.normalizedTime(Scheme::MGX) - 1.0),
-                100.0 * (cmp.normalizedTime(Scheme::BP) - 1.0));
+    std::printf(
+        "\nMGX costs %.1f%% over no protection; the baseline "
+        "costs %.1f%%.\n",
+        100.0 * (rs.normalizedTime(model_name, platform.name,
+                                   Scheme::MGX)
+                     .value() -
+                 1.0),
+        100.0 * (rs.normalizedTime(model_name, platform.name,
+                                   Scheme::BP)
+                     .value() -
+                 1.0));
     return 0;
 }

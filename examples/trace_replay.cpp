@@ -5,30 +5,36 @@
  * artifacts or inspecting a schedule with standard tools.
  *
  * Usage:
- *   trace_replay dump <model> <file>   # e.g. trace_replay dump AlexNet t.trace
+ *   trace_replay dump <workload> <file>  # any registry name; bare DNN
+ *                                        # model names still work
  *   trace_replay run  <file> [edge|cloud]
  */
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <string>
 
 #include "core/invariant_checker.h"
-#include "dnn/dnn_kernel.h"
-#include "dnn/models.h"
-#include "sim/runner.h"
+#include "sim/experiment.h"
 #include "sim/trace_io.h"
+#include "sim/workload_registry.h"
 
 namespace {
 
 int
-usage()
+usage(std::FILE *out)
 {
-    std::fprintf(stderr,
-                 "usage:\n"
-                 "  trace_replay dump <model> <file>\n"
-                 "  trace_replay run <file> [edge|cloud]\n");
-    return 2;
+    std::fprintf(
+        out,
+        "usage:\n"
+        "  trace_replay dump <workload> <file>\n"
+        "  trace_replay run <file> [edge|cloud]\n"
+        "\n"
+        "<workload> is a registry name (see `mgx_run --list`), e.g.\n"
+        "dnn/ResNet?task=training or graph/pokec/pagerank; a bare DNN\n"
+        "model name like AlexNet is shorthand for dnn/<model>.\n");
+    return out == stdout ? 0 : 2;
 }
 
 } // namespace
@@ -37,18 +43,26 @@ int
 main(int argc, char **argv)
 {
     using namespace mgx;
+    if (argc > 1 && (std::strcmp(argv[1], "--help") == 0 ||
+                     std::strcmp(argv[1], "-h") == 0))
+        return usage(stdout);
     if (argc < 3)
-        return usage();
+        return usage(stderr);
 
     if (std::strcmp(argv[1], "dump") == 0) {
-        if (argc < 4)
-            return usage();
-        dnn::DnnKernel kernel(dnn::modelByName(argv[2]),
-                              dnn::cloudAccel());
-        core::Trace trace = kernel.generate();
+        if (argc != 4)
+            return usage(stderr);
+        std::string name = argv[2];
+        if (name.find('/') == std::string::npos)
+            name = "dnn/" + name; // legacy bare-model shorthand
+        core::Trace trace = sim::makeKernel(name)->generate();
         std::ofstream out(argv[3]);
-        if (!out)
-            fatal("cannot open '%s' for writing", argv[3]);
+        if (!out) {
+            std::fprintf(stderr,
+                         "trace_replay: cannot open '%s' for writing\n",
+                         argv[3]);
+            return 1;
+        }
         sim::writeTrace(trace, out);
         std::printf("wrote %zu phases (%.1f MB of traffic) to %s\n",
                     trace.size(),
@@ -59,10 +73,22 @@ main(int argc, char **argv)
     }
 
     if (std::strcmp(argv[1], "run") == 0) {
+        if (argc > 4)
+            return usage(stderr);
         std::ifstream in(argv[2]);
-        if (!in)
-            fatal("cannot open '%s'", argv[2]);
+        if (!in) {
+            std::fprintf(stderr, "trace_replay: cannot open '%s'\n",
+                         argv[2]);
+            return 1;
+        }
         core::Trace trace = sim::readTrace(in);
+        if (trace.empty() || core::traceDataBytes(trace) == 0) {
+            std::fprintf(stderr,
+                         "trace_replay: '%s' contains no accesses — "
+                         "nothing to simulate\n",
+                         argv[2]);
+            return 1;
+        }
         std::printf("loaded %zu phases, %.1f MB of traffic\n",
                     trace.size(),
                     static_cast<double>(core::traceDataBytes(trace)) /
@@ -74,18 +100,30 @@ main(int argc, char **argv)
                     checker.report().ok ? "OK" : "VIOLATED");
 
         const bool edge = argc > 3 && std::strcmp(argv[3], "edge") == 0;
-        protection::ProtectionConfig base;
-        auto cmp = sim::compareSchemes(trace,
-                                       edge ? sim::edgePlatform()
-                                            : sim::cloudPlatform(),
-                                       base, sim::allSchemes());
+        if (argc > 3 && !edge && std::strcmp(argv[3], "cloud") != 0) {
+            std::fprintf(stderr,
+                         "trace_replay: platform must be edge or "
+                         "cloud, not '%s'\n",
+                         argv[3]);
+            return usage(stderr);
+        }
+        const sim::Platform platform =
+            edge ? sim::edgePlatform() : sim::cloudPlatform();
+        sim::ResultSet rs = sim::Experiment()
+                                .trace(argv[2], trace)
+                                .platform(platform)
+                                .schemes(sim::allSchemes())
+                                .run();
         std::printf("%-8s %12s %12s\n", "scheme", "norm. time",
                     "traffic");
         for (auto s : sim::allSchemes())
-            std::printf("%-8s %12.3f %12.3f\n",
-                        protection::schemeName(s),
-                        cmp.normalizedTime(s), cmp.trafficIncrease(s));
+            std::printf(
+                "%-8s %12.3f %12.3f\n", protection::schemeName(s),
+                rs.normalizedTime(argv[2], platform.name, s).value(),
+                rs.trafficIncrease(argv[2], platform.name, s).value());
         return 0;
     }
-    return usage();
+    std::fprintf(stderr, "trace_replay: unknown command '%s'\n",
+                 argv[1]);
+    return usage(stderr);
 }

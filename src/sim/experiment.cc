@@ -1,0 +1,294 @@
+#include "experiment.h"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <thread>
+
+#include "common/log.h"
+#include "workload_registry.h"
+
+namespace mgx::sim {
+namespace {
+
+/**
+ * Run body(0..n-1) on up to @p threads workers. Work is claimed from
+ * one atomic counter, so any body(i) runs exactly once; callers must
+ * make bodies independent and write to disjoint slots.
+ */
+template <typename Body>
+void
+parallelFor(std::size_t n, u32 threads, const Body &body)
+{
+    u32 workers = threads != 0 ? threads
+                               : std::max(1u, std::thread::hardware_concurrency());
+    workers = static_cast<u32>(
+        std::min<std::size_t>(workers, n));
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+        for (std::size_t i = next.fetch_add(1); i < n;
+             i = next.fetch_add(1))
+            body(i);
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (u32 w = 0; w < workers; ++w)
+        pool.emplace_back(worker);
+    for (auto &t : pool)
+        t.join();
+}
+
+} // namespace
+
+void
+ResultSet::add(RunRecord record)
+{
+    records_.push_back(std::move(record));
+}
+
+const RunResult *
+ResultSet::find(const std::string &workload,
+                const std::string &platform,
+                protection::Scheme scheme) const
+{
+    for (const auto &r : records_) {
+        if (r.key.scheme == scheme && r.key.workload == workload &&
+            r.key.platform == platform)
+            return &r.result;
+    }
+    return nullptr;
+}
+
+std::optional<double>
+ResultSet::normalizedTime(const std::string &workload,
+                          const std::string &platform,
+                          protection::Scheme scheme) const
+{
+    const RunResult *np =
+        find(workload, platform, protection::Scheme::NP);
+    const RunResult *run = find(workload, platform, scheme);
+    if (np == nullptr || run == nullptr || np->totalCycles == 0)
+        return std::nullopt;
+    return static_cast<double>(run->totalCycles) /
+           static_cast<double>(np->totalCycles);
+}
+
+std::optional<double>
+ResultSet::trafficIncrease(const std::string &workload,
+                           const std::string &platform,
+                           protection::Scheme scheme) const
+{
+    const RunResult *np =
+        find(workload, platform, protection::Scheme::NP);
+    const RunResult *run = find(workload, platform, scheme);
+    if (np == nullptr || run == nullptr ||
+        np->traffic.totalBytes() == 0)
+        return std::nullopt;
+    return static_cast<double>(run->traffic.totalBytes()) /
+           static_cast<double>(np->traffic.totalBytes());
+}
+
+std::vector<std::string>
+ResultSet::workloads() const
+{
+    std::vector<std::string> names;
+    for (const auto &r : records_)
+        if (std::find(names.begin(), names.end(), r.key.workload) ==
+            names.end())
+            names.push_back(r.key.workload);
+    return names;
+}
+
+std::vector<std::string>
+ResultSet::platforms() const
+{
+    std::vector<std::string> names;
+    for (const auto &r : records_)
+        if (std::find(names.begin(), names.end(), r.key.platform) ==
+            names.end())
+            names.push_back(r.key.platform);
+    return names;
+}
+
+std::vector<protection::Scheme>
+ResultSet::schemes() const
+{
+    std::vector<protection::Scheme> ss;
+    for (const auto &r : records_)
+        if (std::find(ss.begin(), ss.end(), r.key.scheme) == ss.end())
+            ss.push_back(r.key.scheme);
+    return ss;
+}
+
+SchemeComparison
+ResultSet::comparison(const std::string &workload,
+                      const std::string &platform) const
+{
+    SchemeComparison cmp;
+    for (const auto &r : records_)
+        if (r.key.workload == workload && r.key.platform == platform)
+            cmp.results[r.key.scheme] = r.result;
+    if (cmp.results.empty())
+        fatal("ResultSet has no runs of '%s' on '%s'",
+              workload.c_str(), platform.c_str());
+    return cmp;
+}
+
+Experiment &
+Experiment::workload(const std::string &name)
+{
+    entries_.push_back({name, false, {}});
+    return *this;
+}
+
+Experiment &
+Experiment::workloads(const std::vector<std::string> &names)
+{
+    for (const auto &n : names)
+        workload(n);
+    return *this;
+}
+
+Experiment &
+Experiment::trace(const std::string &label, core::Trace trace)
+{
+    entries_.push_back({label, true, std::move(trace)});
+    return *this;
+}
+
+Experiment &
+Experiment::platform(const Platform &p)
+{
+    platforms_.push_back(p);
+    return *this;
+}
+
+Experiment &
+Experiment::platforms(const std::vector<Platform> &ps)
+{
+    platforms_.insert(platforms_.end(), ps.begin(), ps.end());
+    return *this;
+}
+
+Experiment &
+Experiment::schemes(const std::vector<protection::Scheme> &ss)
+{
+    schemes_ = ss;
+    return *this;
+}
+
+Experiment &
+Experiment::config(const protection::ProtectionConfig &cfg)
+{
+    config_ = cfg;
+    return *this;
+}
+
+Experiment &
+Experiment::threads(u32 n)
+{
+    threads_ = n;
+    return *this;
+}
+
+ResultSet
+Experiment::run() const
+{
+    const std::vector<protection::Scheme> schemes =
+        schemes_.empty() ? allSchemes() : schemes_;
+
+    // Expand the grid: one cell per entry x platform x scheme, where
+    // an entry's platforms are the declared axis or (registry
+    // workloads only) its domain default.
+    struct Cell
+    {
+        const Entry *entry;
+        Platform platform;
+        protection::Scheme scheme;
+        std::size_t traceJob; ///< index into jobs / traces
+    };
+
+    struct TraceJob
+    {
+        std::string name;     ///< registry name (generated jobs)
+        Platform platform;    ///< platform it is generated for
+        const core::Trace *explicitTrace = nullptr;
+    };
+
+    std::vector<Cell> cells;
+    std::vector<TraceJob> jobs;
+    std::map<std::string, std::size_t> jobByKey;
+
+    for (const auto &entry : entries_) {
+        std::vector<Platform> entry_platforms = platforms_;
+        if (entry_platforms.empty()) {
+            if (entry.isExplicitTrace)
+                fatal("experiment trace '%s' needs platforms(...); "
+                      "only registry workloads have a default platform",
+                      entry.label.c_str());
+            entry_platforms.push_back(defaultPlatform(entry.label));
+        }
+        for (const auto &platform : entry_platforms) {
+            const std::string key =
+                entry.isExplicitTrace
+                    ? "trace:" + entry.label
+                    : traceCacheKey(entry.label, platform);
+            auto [it, inserted] =
+                jobByKey.try_emplace(key, jobs.size());
+            if (inserted)
+                jobs.push_back({entry.label, platform,
+                                entry.isExplicitTrace
+                                    ? &entry.explicitTrace
+                                    : nullptr});
+            else if (entry.isExplicitTrace &&
+                     jobs[it->second].explicitTrace !=
+                         &entry.explicitTrace)
+                fatal("experiment has two different traces under the "
+                      "label '%s'",
+                      entry.label.c_str());
+            for (protection::Scheme scheme : schemes)
+                cells.push_back(
+                    {&entry, platform, scheme, it->second});
+        }
+    }
+
+    // Phase 1: generate each distinct trace once, in parallel. A
+    // fresh kernel per job keeps generation deterministic regardless
+    // of scheduling.
+    std::vector<core::Trace> traces(jobs.size());
+    parallelFor(jobs.size(), threads_, [&](std::size_t i) {
+        if (jobs[i].explicitTrace == nullptr)
+            traces[i] =
+                makeKernel(jobs[i].name, jobs[i].platform)->generate();
+    });
+
+    // Phase 2: simulate every cell on fresh per-cell state.
+    std::vector<RunResult> results(cells.size());
+    parallelFor(cells.size(), threads_, [&](std::size_t i) {
+        const Cell &cell = cells[i];
+        const core::Trace &trace =
+            jobs[cell.traceJob].explicitTrace != nullptr
+                ? *jobs[cell.traceJob].explicitTrace
+                : traces[cell.traceJob];
+        dram::DramSystem dram(cell.platform.dram);
+        protection::ProtectionConfig cfg = config_;
+        cfg.scheme = cell.scheme;
+        protection::ProtectionEngine engine(cfg, &dram);
+        PerfModel model(&engine, cell.platform.clockMhz);
+        results[i] = model.run(trace);
+    });
+
+    ResultSet rs;
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        rs.add({{cells[i].entry->label, cells[i].platform.name,
+                 cells[i].scheme},
+                results[i]});
+    return rs;
+}
+
+} // namespace mgx::sim

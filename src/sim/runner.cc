@@ -1,6 +1,8 @@
 #include "runner.h"
 
-#include "common/log.h"
+#include <cassert>
+
+#include "experiment.h"
 
 namespace mgx::sim {
 
@@ -9,9 +11,11 @@ SchemeComparison::normalizedTime(protection::Scheme s) const
 {
     auto np = results.find(protection::Scheme::NP);
     auto it = results.find(s);
-    if (np == results.end() || it == results.end() ||
-        np->second.totalCycles == 0)
-        return 0.0;
+    assert(np != results.end() &&
+           "SchemeComparison: no NP baseline was run");
+    assert(it != results.end() &&
+           "SchemeComparison: scheme was not run");
+    assert(np->second.totalCycles != 0);
     return static_cast<double>(it->second.totalCycles) /
            static_cast<double>(np->second.totalCycles);
 }
@@ -21,9 +25,11 @@ SchemeComparison::trafficIncrease(protection::Scheme s) const
 {
     auto np = results.find(protection::Scheme::NP);
     auto it = results.find(s);
-    if (np == results.end() || it == results.end() ||
-        np->second.traffic.totalBytes() == 0)
-        return 0.0;
+    assert(np != results.end() &&
+           "SchemeComparison: no NP baseline was run");
+    assert(it != results.end() &&
+           "SchemeComparison: scheme was not run");
+    assert(np->second.traffic.totalBytes() != 0);
     return static_cast<double>(it->second.traffic.totalBytes()) /
            static_cast<double>(np->second.traffic.totalBytes());
 }
@@ -33,16 +39,13 @@ compareSchemes(const core::Trace &trace, const Platform &platform,
                const protection::ProtectionConfig &base,
                const std::vector<protection::Scheme> &schemes)
 {
-    SchemeComparison cmp;
-    for (protection::Scheme scheme : schemes) {
-        dram::DramSystem dram(platform.dram);
-        protection::ProtectionConfig cfg = base;
-        cfg.scheme = scheme;
-        protection::ProtectionEngine engine(cfg, &dram);
-        PerfModel model(&engine, platform.clockMhz);
-        cmp.results[scheme] = model.run(trace);
-    }
-    return cmp;
+    ResultSet rs = Experiment()
+                       .trace("trace", trace)
+                       .platform(platform)
+                       .schemes(schemes)
+                       .config(base)
+                       .run();
+    return rs.comparison("trace", platform.name);
 }
 
 std::vector<protection::Scheme>

@@ -1,8 +1,9 @@
 /**
  * @file
- * Convenience harness that runs one kernel trace under several
- * protection schemes on fresh DRAM systems and reports normalized
- * results — the operation behind every figure in the paper.
+ * Platform definitions and the legacy single-trace scheme-comparison
+ * harness. New code should use the Experiment builder (experiment.h),
+ * which runs whole workload x platform x scheme grids in parallel;
+ * compareSchemes() remains as a thin serial-looking wrapper over it.
  */
 
 #ifndef MGX_SIM_RUNNER_H
@@ -26,7 +27,14 @@ struct Platform
     dram::Ddr4Config dram;   ///< channel count etc.
 };
 
-/** Results per scheme, plus normalization against NP. */
+/**
+ * Results per scheme, plus normalization against NP.
+ *
+ * Legacy surface: ResultSet (experiment.h) supersedes this and
+ * reports a missing NP baseline explicitly via std::optional. Here
+ * the normalized accessors *assert* that both runs exist — asking for
+ * a ratio without a baseline is a caller bug, not a 0.0.
+ */
 struct SchemeComparison
 {
     std::map<protection::Scheme, RunResult> results;

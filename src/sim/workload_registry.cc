@@ -1,0 +1,370 @@
+#include "workload_registry.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <utility>
+
+#include "common/log.h"
+#include "core/matmul_kernel.h"
+#include "dnn/dnn_kernel.h"
+#include "dnn/models.h"
+#include "genome/genome_kernel.h"
+#include "graph/graph_gen.h"
+#include "graph/graph_kernel.h"
+#include "video/video_kernel.h"
+
+namespace mgx::sim {
+namespace {
+
+std::string
+toLower(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return s;
+}
+
+std::vector<std::string>
+split(const std::string &s, char sep)
+{
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    while (true) {
+        std::size_t pos = s.find(sep, start);
+        parts.push_back(s.substr(start, pos - start));
+        if (pos == std::string::npos)
+            break;
+        start = pos + 1;
+    }
+    return parts;
+}
+
+/** The `?key=value&...` suffix, with unknown-key detection. */
+class Query
+{
+  public:
+    Query(const std::string &name, const std::string &query)
+        : name_(name)
+    {
+        if (query.empty())
+            return;
+        for (const auto &kv : split(query, '&')) {
+            std::size_t eq = kv.find('=');
+            if (eq == std::string::npos || eq == 0)
+                fatal("workload '%s': malformed parameter '%s'",
+                      name.c_str(), kv.c_str());
+            params_.emplace_back(toLower(kv.substr(0, eq)),
+                                 kv.substr(eq + 1));
+        }
+    }
+
+    /** String value of @p key, or @p def if absent. */
+    std::string
+    str(const std::string &key, const std::string &def = "")
+    {
+        for (auto &p : params_) {
+            if (p.first == key) {
+                consumed_.push_back(key);
+                return p.second;
+            }
+        }
+        return def;
+    }
+
+    u64
+    num(const std::string &key, u64 def)
+    {
+        const std::string v = str(key);
+        if (v.empty())
+            return def;
+        char *end = nullptr;
+        u64 parsed = std::strtoull(v.c_str(), &end, 10);
+        if (end == v.c_str() || *end != '\0')
+            fatal("workload '%s': parameter %s=%s is not a number",
+                  name_.c_str(), key.c_str(), v.c_str());
+        return parsed;
+    }
+
+    double
+    real(const std::string &key, double def)
+    {
+        const std::string v = str(key);
+        if (v.empty())
+            return def;
+        char *end = nullptr;
+        double parsed = std::strtod(v.c_str(), &end);
+        if (end == v.c_str() || *end != '\0')
+            fatal("workload '%s': parameter %s=%s is not a number",
+                  name_.c_str(), key.c_str(), v.c_str());
+        return parsed;
+    }
+
+    /** Fatal if any parameter was never consumed (typo protection). */
+    void
+    finish() const
+    {
+        for (const auto &p : params_) {
+            if (std::find(consumed_.begin(), consumed_.end(),
+                          p.first) == consumed_.end())
+                fatal("workload '%s': unknown parameter '%s'",
+                      name_.c_str(), p.first.c_str());
+        }
+    }
+
+  private:
+    std::string name_;
+    std::vector<std::pair<std::string, std::string>> params_;
+    std::vector<std::string> consumed_;
+};
+
+/** domain, path segments after the domain, and the query. */
+struct ParsedName
+{
+    std::string domain;
+    std::vector<std::string> path;
+    Query query;
+};
+
+ParsedName
+parseName(const std::string &name)
+{
+    const std::size_t qpos = name.find('?');
+    const std::string path_part = name.substr(0, qpos);
+    const std::string query_part =
+        qpos == std::string::npos ? "" : name.substr(qpos + 1);
+    std::vector<std::string> segs = split(path_part, '/');
+    if (segs.size() < 2 || segs[0].empty() || segs[1].empty())
+        fatal("workload '%s': expected domain/name[?params]",
+              name.c_str());
+    ParsedName parsed{toLower(segs[0]),
+                      {segs.begin() + 1, segs.end()},
+                      Query(name, query_part)};
+    return parsed;
+}
+
+/** Paper display name for a model key, accepting common aliases. */
+std::string
+canonicalModel(const std::string &name, const std::string &model)
+{
+    static const std::pair<const char *, const char *> kModels[] = {
+        {"vgg", "VGG"},           {"vgg16", "VGG"},
+        {"alexnet", "AlexNet"},   {"googlenet", "GoogleNet"},
+        {"inception", "GoogleNet"}, {"resnet", "ResNet"},
+        {"resnet50", "ResNet"},   {"bert", "BERT"},
+        {"bert-base", "BERT"},    {"dlrm", "DLRM"},
+        {"mobilenet", "MobileNet"}, {"mobilenetv1", "MobileNet"},
+    };
+    const std::string key = toLower(model);
+    for (const auto &[alias, display] : kModels)
+        if (key == alias)
+            return display;
+    fatal("workload '%s': unknown DNN model '%s'", name.c_str(),
+          model.c_str());
+}
+
+std::unique_ptr<core::Kernel>
+makeDnn(const std::string &name, ParsedName &p, bool edge_platform)
+{
+    if (p.path.size() != 1)
+        fatal("workload '%s': expected dnn/<model>", name.c_str());
+    const std::string model = canonicalModel(name, p.path[0]);
+
+    const std::string task_str =
+        toLower(p.query.str("task", "inference"));
+    dnn::DnnTask task;
+    if (task_str == "inference")
+        task = dnn::DnnTask::Inference;
+    else if (task_str == "training")
+        task = dnn::DnnTask::Training;
+    else
+        fatal("workload '%s': task must be inference or training",
+              name.c_str());
+
+    const std::string accel_str = toLower(p.query.str("accel"));
+    bool edge = edge_platform;
+    if (accel_str == "cloud")
+        edge = false;
+    else if (accel_str == "edge")
+        edge = true;
+    else if (!accel_str.empty())
+        fatal("workload '%s': accel must be cloud or edge",
+              name.c_str());
+
+    const u32 batch = static_cast<u32>(p.query.num("batch", 0));
+    const u64 seed = p.query.num("seed", 1);
+    const double density = p.query.real("density", 1.0);
+    p.query.finish();
+
+    auto kernel = std::make_unique<dnn::DnnKernel>(
+        dnn::modelByName(model),
+        edge ? dnn::edgeAccel() : dnn::cloudAccel(), task, batch, seed);
+    if (density < 1.0)
+        kernel->setFeatureDensity(density);
+    return kernel;
+}
+
+std::unique_ptr<core::Kernel>
+makeGraph(const std::string &name, ParsedName &p)
+{
+    if (p.path.size() != 2)
+        fatal("workload '%s': expected graph/<name>/<algorithm>",
+              name.c_str());
+    graph::GraphSpec spec = graph::graphByName(p.path[0]);
+
+    const std::string alg_str = toLower(p.path[1]);
+    graph::GraphAlgorithm alg;
+    if (alg_str == "pagerank")
+        alg = graph::GraphAlgorithm::PageRank;
+    else if (alg_str == "bfs")
+        alg = graph::GraphAlgorithm::BFS;
+    else if (alg_str == "sssp")
+        alg = graph::GraphAlgorithm::SSSP;
+    else
+        fatal("workload '%s': algorithm must be pagerank, bfs or sssp",
+              name.c_str());
+
+    // The figure-14 defaults: PageRank converges in 3 sweeps on the
+    // scaled graphs, the frontier algorithms run one more.
+    const u32 iters = static_cast<u32>(p.query.num(
+        "iters", alg == graph::GraphAlgorithm::PageRank ? 3 : 4));
+    spec.scale = static_cast<u32>(p.query.num("scale", spec.scale));
+    const u64 seed = p.query.num("seed", 11);
+
+    const std::string vec_str = toLower(p.query.str("vector", "seq"));
+    graph::VectorAccess vec;
+    if (vec_str == "seq" || vec_str == "sequential")
+        vec = graph::VectorAccess::Sequential;
+    else if (vec_str == "random")
+        vec = graph::VectorAccess::Random;
+    else
+        fatal("workload '%s': vector must be seq or random",
+              name.c_str());
+    p.query.finish();
+
+    graph::SpmvEngineConfig engine;
+    graph::GraphTiles tiles = graph::buildTiles(
+        spec, engine.dstBlockVertices, engine.srcTileVertices, seed);
+    return std::make_unique<graph::GraphKernel>(std::move(tiles), alg,
+                                                iters, engine, vec);
+}
+
+std::unique_ptr<core::Kernel>
+makeGenome(const std::string &name, ParsedName &p)
+{
+    if (p.path.size() != 1)
+        fatal("workload '%s': expected genome/<workload>",
+              name.c_str());
+    const u64 reads = p.query.num("reads", 64);
+    p.query.finish();
+    for (const auto &w : genome::paperWorkloads(reads))
+        if (toLower(w.name) == toLower(p.path[0]))
+            return std::make_unique<genome::GenomeKernel>(w);
+    fatal("workload '%s': unknown GACT workload '%s'", name.c_str(),
+          p.path[0].c_str());
+}
+
+std::unique_ptr<core::Kernel>
+makeVideo(const std::string &name, ParsedName &p)
+{
+    if (p.path.size() != 1 || toLower(p.path[0]) != "h264")
+        fatal("workload '%s': expected video/h264", name.c_str());
+    video::VideoConfig cfg;
+    cfg.numFrames = static_cast<u32>(p.query.num("frames", cfg.numFrames));
+    cfg.width = static_cast<u32>(p.query.num("width", cfg.width));
+    cfg.height = static_cast<u32>(p.query.num("height", cfg.height));
+    cfg.gopPeriod = static_cast<u32>(p.query.num("gop", cfg.gopPeriod));
+    p.query.finish();
+    return std::make_unique<video::VideoKernel>(cfg);
+}
+
+std::unique_ptr<core::Kernel>
+makeMatMul(const std::string &name, ParsedName &p)
+{
+    if (p.path.size() != 1 || toLower(p.path[0]) != "matmul")
+        fatal("workload '%s': expected core/matmul", name.c_str());
+    core::MatMulParams params;
+    params.m = p.query.num("m", params.m);
+    params.n = p.query.num("n", params.n);
+    params.k = p.query.num("k", params.k);
+    params.mTiles = p.query.num("mtiles", params.mTiles);
+    params.nTiles = p.query.num("ntiles", params.nTiles);
+    params.kTiles = p.query.num("ktiles", params.kTiles);
+    p.query.finish();
+    return std::make_unique<core::MatMulKernel>(params);
+}
+
+} // namespace
+
+std::unique_ptr<core::Kernel>
+makeKernel(const std::string &name, const Platform &platform)
+{
+    ParsedName p = parseName(name);
+    if (p.domain == "dnn")
+        return makeDnn(name, p, platform.name == "Edge");
+    if (p.domain == "graph")
+        return makeGraph(name, p);
+    if (p.domain == "genome")
+        return makeGenome(name, p);
+    if (p.domain == "video")
+        return makeVideo(name, p);
+    if (p.domain == "core")
+        return makeMatMul(name, p);
+    fatal("workload '%s': unknown domain '%s'", name.c_str(),
+          p.domain.c_str());
+}
+
+std::unique_ptr<core::Kernel>
+makeKernel(const std::string &name)
+{
+    return makeKernel(name, defaultPlatform(name));
+}
+
+std::string
+traceCacheKey(const std::string &name, const Platform &platform)
+{
+    ParsedName p = parseName(name);
+    if (p.domain != "dnn")
+        return name;
+    // DNN tiling follows the accelerator's SRAM, so the trace is
+    // per-accel; an explicit accel= pins it regardless of platform.
+    const std::string accel_str = toLower(p.query.str("accel"));
+    const bool edge = accel_str.empty() ? platform.name == "Edge"
+                                        : accel_str == "edge";
+    return name + (edge ? "@edge" : "@cloud");
+}
+
+Platform
+defaultPlatform(const std::string &name)
+{
+    const std::string domain = parseName(name).domain;
+    if (domain == "graph")
+        return graphPlatform();
+    // The H.264 study and GACT share the 800 MHz / 4-channel platform.
+    if (domain == "genome" || domain == "video")
+        return genomePlatform();
+    return cloudPlatform();
+}
+
+std::vector<std::string>
+listWorkloads()
+{
+    std::vector<std::string> names;
+    for (const char *model : {"VGG", "AlexNet", "GoogleNet", "ResNet",
+                              "BERT", "DLRM", "MobileNet"}) {
+        names.push_back(std::string("dnn/") + model +
+                        "?task=inference");
+        names.push_back(std::string("dnn/") + model + "?task=training");
+    }
+    for (const auto &spec : graph::paperGraphs())
+        for (const char *alg : {"pagerank", "bfs", "sssp"})
+            names.push_back("graph/" + spec.name + "/" + alg);
+    for (const auto &w : genome::paperWorkloads())
+        names.push_back("genome/" + w.name);
+    names.push_back("video/h264");
+    names.push_back("core/matmul");
+    return names;
+}
+
+} // namespace mgx::sim

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Named workload registry: constructs any of the paper's kernels from
+ * a string key, so experiments, tools and tests can sweep every
+ * workload that exists without touching domain headers.
+ *
+ * Names are `domain/path[?key=value&key=value...]`:
+ *
+ *   dnn/<model>           VGG AlexNet GoogleNet ResNet BERT DLRM
+ *                         MobileNet (case-insensitive; resnet50, vgg16,
+ *                         inception, bert-base, mobilenetv1 aliases)
+ *                         params: task=inference|training, batch=N,
+ *                         accel=cloud|edge, density=0..1, seed=N
+ *   graph/<name>/<alg>    six paper graphs x pagerank|bfs|sssp
+ *                         params: iters=N (default 3 for pagerank,
+ *                         4 otherwise), vector=seq|random, scale=N,
+ *                         seed=N
+ *   genome/<workload>     the nine chr{1,X,Y}{PacBio,ONT2D,ONT1D}
+ *                         GACT workloads; params: reads=N
+ *   video/h264            IBPB decode; params: frames=N, width=N,
+ *                         height=N, gop=N
+ *   core/matmul           Fig. 4's tiled MatMul; params: m=N, n=N,
+ *                         k=N, mtiles=N, ntiles=N, ktiles=N
+ *
+ * Unknown names and unknown parameter keys are fatal() — a typo should
+ * fail loudly, not silently run the default workload.
+ */
+
+#ifndef MGX_SIM_WORKLOAD_REGISTRY_H
+#define MGX_SIM_WORKLOAD_REGISTRY_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/kernel.h"
+#include "runner.h"
+
+namespace mgx::sim {
+
+/**
+ * Construct the kernel named by @p name on its default platform
+ * (Cloud accelerator config for DNN workloads). Fatal on unknown
+ * names or parameters.
+ */
+std::unique_ptr<core::Kernel> makeKernel(const std::string &name);
+
+/**
+ * Construct the kernel named by @p name for @p platform. Only DNN
+ * workloads are platform-sensitive: their tiling follows the
+ * accelerator's SRAM, so a run on the Edge platform uses the
+ * ChaiDNN-like edge accelerator config unless the name pins one with
+ * `accel=`. All other domains ignore the platform here (it only sets
+ * clocks and DRAM channels at simulation time).
+ */
+std::unique_ptr<core::Kernel> makeKernel(const std::string &name,
+                                         const Platform &platform);
+
+/**
+ * Key under which @p name's generated trace may be cached when run on
+ * @p platform. Equal keys guarantee equal traces: platform-independent
+ * workloads share one key across platforms (so a Cloud+Edge grid
+ * generates their trace once), DNN workloads get one key per
+ * accelerator config.
+ */
+std::string traceCacheKey(const std::string &name,
+                          const Platform &platform);
+
+/** The platform a workload's domain is evaluated on in the paper. */
+Platform defaultPlatform(const std::string &name);
+
+/**
+ * Every canonical workload name: all DNN models x inference/training,
+ * the six graphs x pagerank/bfs/sssp, the nine GACT workloads, the
+ * H.264 stream and the MatMul example. Each listed name constructs
+ * via makeKernel() and generates a non-empty trace.
+ */
+std::vector<std::string> listWorkloads();
+
+} // namespace mgx::sim
+
+#endif // MGX_SIM_WORKLOAD_REGISTRY_H
