@@ -136,7 +136,7 @@ BM_ProtectionEngineStream(benchmark::State &state)
         protection::ProtectionEngine engine(cfg, &dram);
         state.ResumeTiming();
         benchmark::DoNotOptimize(engine.access(
-            {0, 1 << 20, AccessType::Read, DataClass::Generic, 1, 0},
+            {0, 1 << 20, 1, AccessType::Read, DataClass::Generic, 0},
             0));
     }
     state.SetBytesProcessed(static_cast<i64>(state.iterations()) *

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Simulator-throughput benchmark: how fast the timing model itself
+ * replays traces, measured in simulated 64-byte DRAM lines per wall
+ * second. This quantifies the *simulator* (the repo's hot path), not
+ * the modeled hardware — the companion of bench_micro's substrate
+ * numbers and the source of the BENCH_perf.json trajectory artifact.
+ *
+ * Each (workload, scheme) cell generates the trace once, then replays
+ * it through a fresh DramSystem + ProtectionEngine + PerfModel until
+ * the wall-time budget is spent. Every replay of a trace is
+ * deterministic, so the bench also asserts that repeated replays
+ * produce identical cycle counts — a cheap self-check that the hot
+ * path stays bitwise-stable while it is being optimized.
+ *
+ * Usage:
+ *   bench_perf_throughput [--set micro|full] [--min-seconds S]
+ *                         [--json FILE] [--quiet]
+ *
+ * JSON schema "mgx-bench-v1": {schema, bench, unit, results:[
+ *   {workload, platform, scheme, linesPerSecond, wallSeconds,
+ *    replays, linesPerReplay, cyclesPerReplay, traceBytes,
+ *    tracePhases}]}
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.h"
+#include "sim/report.h"
+#include "sim/workload_registry.h"
+
+namespace {
+
+using namespace mgx;
+using Clock = std::chrono::steady_clock;
+
+struct CellResult
+{
+    std::string workload;
+    std::string platform;
+    protection::Scheme scheme = protection::Scheme::NP;
+    double linesPerSecond = 0.0;
+    double wallSeconds = 0.0;
+    u64 replays = 0;
+    u64 linesPerReplay = 0;
+    Cycles cyclesPerReplay = 0;
+    u64 traceBytes = 0;
+    u64 tracePhases = 0;
+};
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/** Replay @p trace under @p scheme until the time budget is spent. */
+CellResult
+measureCell(const std::string &workload, const sim::Platform &platform,
+            const core::Trace &trace, protection::Scheme scheme,
+            double min_seconds)
+{
+    CellResult cell;
+    cell.workload = workload;
+    cell.platform = platform.name;
+    cell.scheme = scheme;
+    cell.traceBytes = trace.memoryBytes();
+    cell.tracePhases = trace.size();
+
+    protection::ProtectionConfig cfg;
+    cfg.scheme = scheme;
+
+    const auto t0 = Clock::now();
+    Cycles cycles = 0;
+    u64 lines = 0;
+    u64 reps = 0;
+    do {
+        dram::DramSystem dram(platform.dram);
+        protection::ProtectionEngine engine(cfg, &dram);
+        sim::PerfModel model(&engine, platform.clockMhz);
+        const sim::RunResult r = model.run(trace);
+        if (reps == 0) {
+            cycles = r.totalCycles;
+            lines = dram.accessCount();
+        } else if (cycles != r.totalCycles ||
+                   lines != dram.accessCount()) {
+            std::fprintf(stderr,
+                         "bench_perf_throughput: replay %llu of %s/%s "
+                         "diverged (nondeterministic hot path!)\n",
+                         static_cast<unsigned long long>(reps),
+                         workload.c_str(),
+                         protection::schemeName(scheme));
+            std::exit(1);
+        }
+        ++reps;
+    } while (reps < 2 || secondsSince(t0) < min_seconds);
+
+    cell.wallSeconds = secondsSince(t0);
+    cell.replays = reps;
+    cell.linesPerReplay = lines;
+    cell.cyclesPerReplay = cycles;
+    cell.linesPerSecond = static_cast<double>(lines) *
+                          static_cast<double>(reps) / cell.wallSeconds;
+    return cell;
+}
+
+void
+writeJson(const std::vector<CellResult> &cells, std::ostream &out)
+{
+    out << "{\n  \"schema\": \"mgx-bench-v1\",\n"
+        << "  \"bench\": \"perf_throughput\",\n"
+        << "  \"unit\": \"simulated_lines_per_second\",\n"
+        << "  \"results\": [";
+    bool first = true;
+    for (const auto &c : cells) {
+        char num[64];
+        std::snprintf(num, sizeof num, "%.6g", c.linesPerSecond);
+        out << (first ? "\n" : ",\n") << "    {\"workload\": \""
+            << c.workload << "\", \"platform\": \"" << c.platform
+            << "\", \"scheme\": \"" << protection::schemeName(c.scheme)
+            << "\",\n     \"linesPerSecond\": " << num;
+        std::snprintf(num, sizeof num, "%.6g", c.wallSeconds);
+        out << ", \"wallSeconds\": " << num
+            << ", \"replays\": " << c.replays
+            << ",\n     \"linesPerReplay\": " << c.linesPerReplay
+            << ", \"cyclesPerReplay\": " << c.cyclesPerReplay
+            << ", \"traceBytes\": " << c.traceBytes
+            << ", \"tracePhases\": " << c.tracePhases << "}";
+        first = false;
+    }
+    out << "\n  ]\n}\n";
+}
+
+int
+usage(std::FILE *out)
+{
+    std::fprintf(
+        out,
+        "usage: bench_perf_throughput [options]\n"
+        "  --set micro|full    workload set (default micro)\n"
+        "                      micro: the tiled-MatMul replay\n"
+        "                      full:  + dnn/resnet50 + graph/pokec\n"
+        "  --min-seconds S     time budget per cell (default 0.5)\n"
+        "  --json FILE         write the mgx-bench-v1 artifact\n"
+        "  --quiet             suppress the table\n");
+    return out == stdout ? 0 : 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string set = "micro";
+    std::string json_path;
+    double min_seconds = 0.5;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "bench_perf_throughput: %s needs a value\n",
+                             arg.c_str());
+                std::exit(usage(stderr));
+            }
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h")
+            return usage(stdout);
+        if (arg == "--set")
+            set = value();
+        else if (arg == "--min-seconds")
+            min_seconds = std::strtod(value(), nullptr);
+        else if (arg == "--json")
+            json_path = value();
+        else if (arg == "--quiet" || arg == "-q")
+            quiet = true;
+        else {
+            std::fprintf(stderr,
+                         "bench_perf_throughput: unknown option '%s'\n",
+                         arg.c_str());
+            return usage(stderr);
+        }
+    }
+
+    std::vector<std::string> workloads = {"core/matmul?m=256&n=256&k=256"};
+    if (set == "full") {
+        workloads.push_back("dnn/resnet50?task=inference");
+        workloads.push_back("graph/pokec/pagerank");
+    } else if (set != "micro") {
+        std::fprintf(stderr,
+                     "bench_perf_throughput: unknown set '%s'\n",
+                     set.c_str());
+        return usage(stderr);
+    }
+
+    const std::vector<protection::Scheme> schemes = {
+        protection::Scheme::NP, protection::Scheme::MGX,
+        protection::Scheme::BP};
+
+    std::vector<CellResult> cells;
+    if (!quiet)
+        std::printf("%-34s %-8s %-8s %14s %9s %8s\n", "workload",
+                    "platform", "scheme", "lines/sec", "replays",
+                    "wall(s)");
+    for (const auto &w : workloads) {
+        const sim::Platform platform = sim::defaultPlatform(w);
+        const core::Trace trace =
+            sim::makeKernel(w, platform)->generate();
+        for (protection::Scheme s : schemes) {
+            cells.push_back(
+                measureCell(w, platform, trace, s, min_seconds));
+            const CellResult &c = cells.back();
+            if (!quiet)
+                std::printf("%-34s %-8s %-8s %14.0f %9llu %8.2f\n",
+                            c.workload.c_str(), c.platform.c_str(),
+                            protection::schemeName(c.scheme),
+                            c.linesPerSecond,
+                            static_cast<unsigned long long>(c.replays),
+                            c.wallSeconds);
+        }
+    }
+
+    if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        if (!out) {
+            std::fprintf(stderr,
+                         "bench_perf_throughput: cannot write '%s'\n",
+                         json_path.c_str());
+            return 1;
+        }
+        writeJson(cells, out);
+        if (!quiet)
+            std::printf("\nwrote %zu results to %s\n", cells.size(),
+                        json_path.c_str());
+    }
+    return 0;
+}

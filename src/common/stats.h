@@ -3,12 +3,21 @@
  * Lightweight named-counter statistics, loosely modeled on gem5's stats
  * package. Each subsystem owns a StatGroup; benches read counters out to
  * build the paper's tables.
+ *
+ * The hot path is handle-based: a subsystem resolves a Counter handle
+ * per named statistic once at construction and bumps through it with a
+ * single pointer-chase — no string hashing, map walk, or allocation per
+ * event. The string-keyed API (add/set/get/ratio/dump) survives for
+ * cold-path readers and ad-hoc counters; both views share the same
+ * slots, so `group.counter("x").add()` and `group.get("x")` always
+ * agree.
  */
 
 #ifndef MGX_COMMON_STATS_H
 #define MGX_COMMON_STATS_H
 
 #include <cstdio>
+#include <deque>
 #include <map>
 #include <string>
 
@@ -17,34 +26,93 @@
 namespace mgx {
 
 /**
- * A flat map of named 64-bit counters plus derived-ratio helpers.
- * Not thread-safe; the simulator is single-threaded by design.
+ * A flat group of named 64-bit counters plus derived-ratio helpers.
+ * Not thread-safe; each simulated cell owns its groups.
  */
 class StatGroup
 {
   public:
+    /**
+     * Hot-path handle to one counter slot. A default-constructed
+     * Counter is a null sink: bumps are dropped, reads are zero — the
+     * null-object for subsystems whose stats pointer is optional.
+     */
+    class Counter
+    {
+      public:
+        Counter() = default;
+
+        /** Add @p delta to the underlying slot (no-op when null). */
+        void
+        add(u64 delta = 1)
+        {
+            if (slot_ != nullptr)
+                *slot_ += delta;
+        }
+
+        Counter &
+        operator+=(u64 delta)
+        {
+            add(delta);
+            return *this;
+        }
+
+        Counter &
+        operator++()
+        {
+            add(1);
+            return *this;
+        }
+
+        /** Current value (zero when null). */
+        u64 value() const { return slot_ == nullptr ? 0 : *slot_; }
+
+        bool valid() const { return slot_ != nullptr; }
+
+      private:
+        friend class StatGroup;
+        explicit Counter(u64 *slot) : slot_(slot) {}
+        u64 *slot_ = nullptr;
+    };
+
     explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    // StatGroup hands out pointers into slots_; moving or copying the
+    // group would silently detach every resolved handle.
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    /**
+     * Resolve (creating at zero) the handle for counter @p key. Do this
+     * once at construction; the handle stays valid for the group's
+     * lifetime (slots are deque-backed and never move).
+     */
+    Counter
+    counter(const std::string &key)
+    {
+        return Counter(slotFor(key));
+    }
 
     /** Add @p delta to counter @p key (creating it at zero). */
     void
     add(const std::string &key, u64 delta = 1)
     {
-        counters_[key] += delta;
+        *slotFor(key) += delta;
     }
 
     /** Overwrite counter @p key. */
     void
     set(const std::string &key, u64 value)
     {
-        counters_[key] = value;
+        *slotFor(key) = value;
     }
 
     /** Read a counter; missing keys read as zero. */
     u64
     get(const std::string &key) const
     {
-        auto it = counters_.find(key);
-        return it == counters_.end() ? 0 : it->second;
+        auto it = index_.find(key);
+        return it == index_.end() ? 0 : *it->second;
     }
 
     /** Ratio of two counters; returns 0 when the denominator is zero. */
@@ -55,27 +123,56 @@ class StatGroup
         return d == 0 ? 0.0 : static_cast<double>(get(num)) / d;
     }
 
-    /** Reset all counters to zero. */
-    void clear() { counters_.clear(); }
+    /**
+     * Reset all counters to zero. Registrations (and therefore resolved
+     * handles) survive; only the values clear.
+     */
+    void
+    clear()
+    {
+        for (u64 &slot : slots_)
+            slot = 0;
+    }
 
     /** Group name given at construction. */
     const std::string &name() const { return name_; }
 
-    /** All counters, sorted by key (std::map iteration order). */
-    const std::map<std::string, u64> &counters() const { return counters_; }
+    /** All counters by key (snapshot; sorted by key). */
+    std::map<std::string, u64>
+    counters() const
+    {
+        std::map<std::string, u64> out;
+        for (const auto &[key, slot] : index_)
+            out.emplace(key, *slot);
+        return out;
+    }
 
     /** Dump `group.key value` lines to @p out. */
     void
     dump(std::FILE *out = stdout) const
     {
-        for (const auto &[key, value] : counters_)
+        for (const auto &[key, slot] : index_)
             std::fprintf(out, "%s.%s %llu\n", name_.c_str(), key.c_str(),
-                         static_cast<unsigned long long>(value));
+                         static_cast<unsigned long long>(*slot));
     }
 
   private:
+    /** Find-or-create the slot for @p key. */
+    u64 *
+    slotFor(const std::string &key)
+    {
+        auto it = index_.find(key);
+        if (it != index_.end())
+            return it->second;
+        slots_.push_back(0);
+        u64 *slot = &slots_.back();
+        index_.emplace(key, slot);
+        return slot;
+    }
+
     std::string name_;
-    std::map<std::string, u64> counters_;
+    std::deque<u64> slots_; ///< stable storage: handles never dangle
+    std::map<std::string, u64 *> index_;
 };
 
 } // namespace mgx

@@ -18,14 +18,19 @@
 
 namespace mgx::core {
 
-/** One contiguous data transfer with its generated version number. */
+/**
+ * One contiguous data transfer with its generated version number.
+ * Field order packs the struct into 32 bytes (the 8-byte members
+ * first); traces hold millions of these, so the layout is part of the
+ * trace memory budget reported by Trace::memoryBytes().
+ */
 struct LogicalAccess
 {
     Addr addr = 0;          ///< start byte address
     u64 bytes = 0;          ///< transfer length
+    Vn vn = 0;              ///< full 64-bit VN (type tag in top bits)
     AccessType type = AccessType::Read;
     DataClass cls = DataClass::Generic;
-    Vn vn = 0;              ///< full 64-bit VN (type tag in top bits)
 
     /**
      * Per-access MAC granularity override in bytes; 0 selects the
@@ -34,6 +39,9 @@ struct LogicalAccess
      */
     u32 macGranularity = 0;
 };
+
+static_assert(sizeof(LogicalAccess) == 32,
+              "LogicalAccess is a hot trace type; keep it packed");
 
 /** A batch of logical accesses (one simulation phase's traffic). */
 using AccessList = std::vector<LogicalAccess>;

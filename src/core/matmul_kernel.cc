@@ -55,20 +55,23 @@ MatMulKernel::generate()
     const Vn vn_in = makeVn(DataClass::Generic, params_.initialVn);
 
     Trace trace;
+    trace.reserve(1 + params_.kTiles * params_.mTiles * params_.nTiles);
 
     // Session setup: the host loads A and B with the initial VN.
     Phase setup;
     setup.name = "load-operands";
+    setup.accesses.reserve(params_.mTiles * params_.kTiles +
+                           params_.kTiles * params_.nTiles);
     for (u64 mi = 0; mi < params_.mTiles; ++mi)
         for (u64 ki = 0; ki < params_.kTiles; ++ki)
-            setup.accesses.push_back({tileAddrA(mi, ki), bytes_a,
+            setup.accesses.push_back({tileAddrA(mi, ki), bytes_a, vn_in,
                                       AccessType::Write,
-                                      DataClass::Generic, vn_in, 0});
+                                      DataClass::Generic, 0});
     for (u64 ki = 0; ki < params_.kTiles; ++ki)
         for (u64 ni = 0; ni < params_.nTiles; ++ni)
-            setup.accesses.push_back({tileAddrB(ki, ni), bytes_b,
+            setup.accesses.push_back({tileAddrB(ki, ni), bytes_b, vn_in,
                                       AccessType::Write,
-                                      DataClass::Generic, vn_in, 0});
+                                      DataClass::Generic, 0});
     trace.push_back(std::move(setup));
 
     // Fig. 4(b): outer loop over K rounds; VN[C] bumps once per round.
@@ -85,23 +88,23 @@ MatMulKernel::generate()
                          ")";
                 // MACs / PEs, one MAC per PE per cycle.
                 p.computeCycles = divCeil(tm * tn * tk, params_.peCount);
-                p.accesses.push_back({tileAddrA(mi, ki), bytes_a,
-                                      AccessType::Read, DataClass::Generic,
-                                      vn_in, 0});
-                p.accesses.push_back({tileAddrB(ki, ni), bytes_b,
-                                      AccessType::Read, DataClass::Generic,
-                                      vn_in, 0});
+                p.accesses.reserve(ki > 0 ? 4 : 3);
+                p.accesses.push_back({tileAddrA(mi, ki), bytes_a, vn_in,
+                                      AccessType::Read,
+                                      DataClass::Generic, 0});
+                p.accesses.push_back({tileAddrB(ki, ni), bytes_b, vn_in,
+                                      AccessType::Read,
+                                      DataClass::Generic, 0});
                 if (ki > 0) {
                     // Accumulate: re-read the partial result with the VN
                     // it was last written with.
                     p.accesses.push_back({tileAddrC(mi, ni), bytes_c,
-                                          AccessType::Read,
-                                          DataClass::Generic, vn_c_read,
-                                          0});
+                                          vn_c_read, AccessType::Read,
+                                          DataClass::Generic, 0});
                 }
                 p.accesses.push_back({tileAddrC(mi, ni), bytes_c,
-                                      AccessType::Write,
-                                      DataClass::Generic, vn_c_write, 0});
+                                      vn_c_write, AccessType::Write,
+                                      DataClass::Generic, 0});
                 trace.push_back(std::move(p));
             }
         }

@@ -40,12 +40,11 @@ RekeyManager::planRekey(const std::vector<LiveRegion> &regions,
             // handful of cycles, invisible next to the data movement.)
             p.computeCycles = 1;
             p.accesses.push_back({region.addr + off, len,
-                                  AccessType::Read, region.cls,
                                   makeVn(region.cls, region.currentVn),
-                                  0});
+                                  AccessType::Read, region.cls, 0});
             p.accesses.push_back({region.addr + off, len,
-                                  AccessType::Write, region.cls,
-                                  makeVn(region.cls, 1), 0});
+                                  makeVn(region.cls, 1),
+                                  AccessType::Write, region.cls, 0});
             trace.push_back(std::move(p));
             off += len;
         }

@@ -184,17 +184,16 @@ DnnKernel::pushInputReads(const Layer &l, AccessList &out)
             const u64 bytes =
                 prunedBytes(static_cast<u64>(batch_) * l.inputElems() *
                             accel_.elemBytes);
-            out.push_back({inputAddr_, bytes, AccessType::Read,
-                           DataClass::Feature,
+            out.push_back({inputAddr_, bytes,
                            makeVn(DataClass::Feature,
                                   state_.counter("VN_input")),
-                           0});
+                           AccessType::Read, DataClass::Feature, 0});
         } else {
             const TensorInfo &t =
                 features_[static_cast<std::size_t>(p)];
-            out.push_back({t.addr, t.bytes, AccessType::Read,
-                           DataClass::Feature,
-                           makeVn(DataClass::Feature, t.vn), 0});
+            out.push_back({t.addr, t.bytes,
+                           makeVn(DataClass::Feature, t.vn),
+                           AccessType::Read, DataClass::Feature, 0});
         }
     }
 }
@@ -206,9 +205,9 @@ DnnKernel::pushWeightRead(std::size_t idx, AccessList &out)
     const u64 wb = l.weightElems() * accel_.elemBytes;
     if (wb == 0 || l.kind == LayerKind::Embedding)
         return;
-    out.push_back({weightAddr_[idx], wb, AccessType::Read,
-                   DataClass::Weight,
-                   makeVn(DataClass::Weight, state_.counter("VN_W")), 0});
+    out.push_back({weightAddr_[idx], wb,
+                   makeVn(DataClass::Weight, state_.counter("VN_W")),
+                   AccessType::Read, DataClass::Weight, 0});
 }
 
 void
@@ -241,16 +240,16 @@ DnnKernel::emitForwardLayer(std::size_t idx, Trace &trace)
         for (u64 i = 0; i < lookups; ++i) {
             const u64 row = rng.below(l.numRows);
             p.accesses.push_back({weightAddr_[idx] + row * row_bytes,
-                                  row_bytes, AccessType::Read,
-                                  DataClass::Weight, vn_w, 64});
+                                  row_bytes, vn_w, AccessType::Read,
+                                  DataClass::Weight, 64});
         }
         const Vn vn_out = bumpFeatureVn();
         t.vn = vn_out;
         t.writes = 1;
         state_.setTable("VN_F", idx, vn_out);
-        p.accesses.push_back({t.addr, t.bytes, AccessType::Write,
-                              DataClass::Feature,
-                              makeVn(DataClass::Feature, vn_out), 0});
+        p.accesses.push_back({t.addr, t.bytes,
+                              makeVn(DataClass::Feature, vn_out),
+                              AccessType::Write, DataClass::Feature, 0});
         trace.push_back(std::move(p));
         return;
     }
@@ -321,10 +320,8 @@ DnnKernel::emitForwardLayer(std::size_t idx, Trace &trace)
                 if (wbgn < wend) {
                     p.accesses.push_back(
                         {weightAddr_[idx] + wbgn, wend - wbgn,
-                         AccessType::Read, DataClass::Weight,
-                         makeVn(DataClass::Weight,
-                                state_.counter("VN_W")),
-                         0});
+                         makeVn(DataClass::Weight, state_.counter("VN_W")),
+                         AccessType::Read, DataClass::Weight, 0});
                 }
             }
 
@@ -351,24 +348,23 @@ DnnKernel::emitForwardLayer(std::size_t idx, Trace &trace)
                 auto [ib, ie] =
                     sliceRange(total, k_rounds * bands, part);
                 if (ib < ie) {
-                    p.accesses.push_back({base + ib, ie - ib,
+                    p.accesses.push_back({base + ib, ie - ib, vn_in,
                                           AccessType::Read,
-                                          DataClass::Feature, vn_in, 0});
+                                          DataClass::Feature, 0});
                 }
             }
 
             // Partial-sum read-back (Fig. 7 lines 11-13).
             if (k > 0) {
                 p.accesses.push_back(
-                    {t.addr + ob, oe - ob, AccessType::Read,
-                     DataClass::Feature,
-                     makeVn(DataClass::Feature, vn_prev), 0});
+                    {t.addr + ob, oe - ob,
+                     makeVn(DataClass::Feature, vn_prev), AccessType::Read,
+                     DataClass::Feature, 0});
             }
             // Output write with the round's VN (Fig. 7 lines 15-16).
             p.accesses.push_back({t.addr + ob, oe - ob,
-                                  AccessType::Write, DataClass::Feature,
                                   makeVn(DataClass::Feature, vn_write),
-                                  0});
+                                  AccessType::Write, DataClass::Feature, 0});
             trace.push_back(std::move(p));
         }
         vn_prev = vn_write;
@@ -394,9 +390,9 @@ DnnKernel::emitBackwardLayer(std::size_t idx, Trace &trace)
         Phase p;
         p.name = l.name + ".bwd";
         p.computeCycles = compute;
-        p.accesses.push_back({gy.addr, gy.bytes, AccessType::Read,
-                              DataClass::Gradient,
-                              makeVn(DataClass::Gradient, gy.vn), 0});
+        p.accesses.push_back({gy.addr, gy.bytes,
+                              makeVn(DataClass::Gradient, gy.vn),
+                              AccessType::Read, DataClass::Gradient, 0});
         const u64 row_bytes = static_cast<u64>(l.rowDim) * eb;
         const u64 lookups =
             static_cast<u64>(batch_) * l.lookupsPerSample;
@@ -408,9 +404,8 @@ DnnKernel::emitBackwardLayer(std::size_t idx, Trace &trace)
             kGradientBase + kGradientRegion - (64ull << 20);
         for (u64 i = 0; i < lookups; ++i) {
             p.accesses.push_back({scatter + i * row_bytes, row_bytes,
-                                  AccessType::Write, DataClass::Gradient,
                                   makeVn(DataClass::Gradient, vn_gw),
-                                  64});
+                                  AccessType::Write, DataClass::Gradient, 64});
         }
         trace.push_back(std::move(p));
         return;
@@ -469,8 +464,8 @@ DnnKernel::emitBackwardLayer(std::size_t idx, Trace &trace)
         auto [gb, ge] = sliceRange(gy.bytes, bands, band);
         if (gb < ge) {
             p.accesses.push_back({gy.addr + gb, ge - gb,
-                                  AccessType::Read, DataClass::Gradient,
-                                  makeVn(DataClass::Gradient, gy.vn), 0});
+                                  makeVn(DataClass::Gradient, gy.vn),
+                                  AccessType::Read, DataClass::Gradient, 0});
         }
         // Saved features (for gw) and weights (for gx). The external
         // input is re-read too: the first layer's gw needs it.
@@ -491,16 +486,15 @@ DnnKernel::emitBackwardLayer(std::size_t idx, Trace &trace)
             auto [xb, xe] = sliceRange(total, bands, band);
             if (xb < xe) {
                 p.accesses.push_back(
-                    {base + xb, xe - xb, AccessType::Read,
-                     DataClass::Feature, makeVn(DataClass::Feature, vn),
-                     0});
+                    {base + xb, xe - xb, makeVn(DataClass::Feature, vn),
+                     AccessType::Read, DataClass::Feature, 0});
             }
         }
         if (wb > 0 && band == 0) {
             p.accesses.push_back(
-                {weightAddr_[idx], wb, AccessType::Read,
-                 DataClass::Weight,
-                 makeVn(DataClass::Weight, state_.counter("VN_W")), 0});
+                {weightAddr_[idx], wb,
+                 makeVn(DataClass::Weight, state_.counter("VN_W")),
+                 AccessType::Read, DataClass::Weight, 0});
         }
 
         // Outgoing gradients.
@@ -511,24 +505,22 @@ DnnKernel::emitBackwardLayer(std::size_t idx, Trace &trace)
                 continue;
             if (tgt.accumulate) {
                 p.accesses.push_back(
-                    {gx.addr + ob, oe - ob, AccessType::Read,
-                     DataClass::Gradient,
-                     makeVn(DataClass::Gradient, tgt.vnRead), 0});
+                    {gx.addr + ob, oe - ob,
+                     makeVn(DataClass::Gradient, tgt.vnRead),
+                     AccessType::Read, DataClass::Gradient, 0});
             }
             p.accesses.push_back({gx.addr + ob, oe - ob,
-                                  AccessType::Write, DataClass::Gradient,
-                                  makeVn(DataClass::Gradient,
-                                         tgt.vnWrite),
-                                  0});
+                                  makeVn(DataClass::Gradient, tgt.vnWrite),
+                                  AccessType::Write, DataClass::Gradient, 0});
         }
         // Weight gradient slice.
         if (wb > 0) {
             auto [ob, oe] = sliceRange(wb, bands, band);
             if (ob < oe) {
                 p.accesses.push_back(
-                    {gw_addr + ob, oe - ob, AccessType::Write,
-                     DataClass::Gradient,
-                     makeVn(DataClass::Gradient, vn_gw), 0});
+                    {gw_addr + ob, oe - ob,
+                     makeVn(DataClass::Gradient, vn_gw), AccessType::Write,
+                     DataClass::Gradient, 0});
             }
         }
         trace.push_back(std::move(p));
@@ -590,9 +582,9 @@ DnnKernel::generate()
         Phase loss;
         loss.name = "loss-grad";
         loss.computeCycles = 1;
-        loss.accesses.push_back({gl.addr, gl.bytes, AccessType::Write,
-                                 DataClass::Gradient,
-                                 makeVn(DataClass::Gradient, gl.vn), 0});
+        loss.accesses.push_back({gl.addr, gl.bytes,
+                                 makeVn(DataClass::Gradient, gl.vn),
+                                 AccessType::Write, DataClass::Gradient, 0});
         trace.push_back(std::move(loss));
 
         for (std::size_t i = n; i-- > 0;)

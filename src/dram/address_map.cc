@@ -9,7 +9,9 @@ AddressMap::AddressMap(const Ddr4Config &cfg)
     blockBytes_ = cfg.accessBytes();
     if (!isPow2(blockBytes_) || !isPow2(cfg.channels) ||
         !isPow2(cfg.banksPerRank) || !isPow2(cfg.ranksPerChannel) ||
-        !isPow2(cfg.rowBytes)) {
+        !isPow2(cfg.rowBytes) || !isPow2(cfg.rowsPerBank)) {
+        // rowsPerBank included: both decode()'s row mask and the
+        // LineWalker row carry assume it.
         fatal("DRAM organization values must be powers of two");
     }
     blockBits_ = log2i(blockBytes_);

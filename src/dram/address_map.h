@@ -7,6 +7,11 @@
  * across column space within a row, so streaming accesses hit open rows
  * on all channels — the mapping Ramulator calls RoBaRaCoCh-style
  * channel interleaving.
+ *
+ * Two decode paths exist: decode() splits an arbitrary address, and
+ * LineWalker advances through consecutive blocks incrementally — one
+ * add-and-mask per dimension with early exit, so a streaming range
+ * never re-derives the whole coordinate from scratch.
  */
 
 #ifndef MGX_DRAM_ADDRESS_MAP_H
@@ -26,6 +31,64 @@ class AddressMap
 
     /** Decode @p addr (any byte address; aligned down to a block). */
     Coord decode(Addr addr) const;
+
+    /**
+     * Incremental decoder over consecutive blocks. Produced by
+     * walkerAt(); next() advances exactly one block (blockBytes) and
+     * matches decode(addr + i * blockBytes) bit for bit — the unit
+     * test pins this equivalence across row crossings.
+     */
+    class LineWalker
+    {
+      public:
+        const Coord &coord() const { return coord_; }
+
+        /** Advance to the next consecutive block. */
+        void
+        next()
+        {
+            // Carry-chain increment in device-coordinate space. Each
+            // dimension is a power of two, so "wrapped" is "masked
+            // increment landed on zero"; the common streaming case
+            // stops at the first dimension.
+            coord_.channel = (coord_.channel + 1) & channelMask_;
+            if (coord_.channel != 0)
+                return;
+            coord_.column = (coord_.column + 1) & columnMask_;
+            if (coord_.column != 0)
+                return;
+            coord_.bank = (coord_.bank + 1) & bankMask_;
+            if (coord_.bank != 0)
+                return;
+            coord_.rank = (coord_.rank + 1) & rankMask_;
+            if (coord_.rank != 0)
+                return;
+            coord_.row = (coord_.row + 1) & rowMask_;
+        }
+
+      private:
+        friend class AddressMap;
+        Coord coord_;
+        u32 channelMask_ = 0;
+        u32 columnMask_ = 0;
+        u32 bankMask_ = 0;
+        u32 rankMask_ = 0;
+        u32 rowMask_ = 0;
+    };
+
+    /** Start an incremental walk at the block containing @p addr. */
+    LineWalker
+    walkerAt(Addr addr) const
+    {
+        LineWalker w;
+        w.coord_ = decode(addr);
+        w.channelMask_ = channels_ - 1;
+        w.columnMask_ = blocksPerRow_ - 1;
+        w.bankMask_ = banks_ - 1;
+        w.rankMask_ = ranks_ - 1;
+        w.rowMask_ = rowMask_;
+        return w;
+    }
 
     /** Size of one interleaved block (one column access). */
     u32 blockBytes() const { return blockBytes_; }

@@ -5,21 +5,34 @@
 namespace mgx::dram {
 
 DramChannel::DramChannel(const Ddr4Config &cfg, StatGroup *stats)
-    : cfg_(cfg), stats_(stats),
+    : cfg_(cfg),
       banks_(static_cast<std::size_t>(cfg.banksPerRank) *
              cfg.ranksPerChannel)
 {
+    // Handles resolve once here; a null stats pointer leaves them as
+    // null sinks, so the hot path below never branches on stats.
+    if (stats != nullptr) {
+        statRowHits_ = stats->counter("row_hits");
+        statRowMisses_ = stats->counter("row_misses");
+        statRowConflicts_ = stats->counter("row_conflicts");
+        statReads_ = stats->counter("reads");
+        statWrites_ = stats->counter("writes");
+        statRefreshStalls_ = stats->counter("refresh_stall_cycles");
+    }
 }
 
 Cycles
 DramChannel::refreshAdjust(Cycles t)
 {
     // All banks are blocked for tRFC at every tREFI boundary. A command
-    // that would start inside the blackout is pushed past it.
-    Cycles phase = t % cfg_.tREFI;
+    // that would start inside the blackout is pushed past it. The
+    // division only happens when t leaves the cached tREFI window;
+    // streaming accesses stay inside it for thousands of bursts.
+    if (t < refreshWinStart_ || t - refreshWinStart_ >= cfg_.tREFI)
+        refreshWinStart_ = t / cfg_.tREFI * cfg_.tREFI;
+    const Cycles phase = t - refreshWinStart_;
     if (phase < cfg_.tRFC) {
-        if (stats_)
-            stats_->add("refresh_stall_cycles", cfg_.tRFC - phase);
+        statRefreshStalls_.add(cfg_.tRFC - phase);
         return t + (cfg_.tRFC - phase);
     }
     return t;
@@ -50,25 +63,49 @@ DramChannel::access(const Coord &coord, bool is_write, Cycles arrival)
     const u32 bank_id = coord.rank * cfg_.banksPerRank + coord.bank;
     BankState &bank = banks_[bank_id];
 
+    // Same-open-row fast path: a row hit with no bus-direction switch
+    // whose start cycle falls inside the cached refresh window (past
+    // its blackout) reduces to max/add arithmetic — the activate/
+    // precharge machinery below cannot change the outcome. Bitwise
+    // identical to the general path.
+    if (bank.openRow == coord.row && is_write == lastBurstWrite_) {
+        const Cycles start = std::max(arrival, bank.readyAt);
+        if (start >= refreshWinStart_ + cfg_.tRFC &&
+            start - refreshWinStart_ < cfg_.tREFI) {
+            statRowHits_.add();
+            const Cycles burst_start = std::max(
+                start + (is_write ? cfg_.tCWL : cfg_.tCL), busFreeAt_);
+            const Cycles burst_end = burst_start + cfg_.burstCycles();
+            busFreeAt_ = burst_end;
+            bank.readyAt = start + cfg_.tCCD;
+            if (is_write) {
+                bank.readyAt =
+                    std::max(bank.readyAt, burst_end + cfg_.tWR);
+                statWrites_.add();
+            } else {
+                statReads_.add();
+            }
+            lastCompletion_ = std::max(lastCompletion_, burst_end);
+            return burst_end;
+        }
+    }
+
     Cycles start = refreshAdjust(std::max(arrival, bank.readyAt));
 
     Cycles column_cmd; // cycle the RD/WR command issues
     if (bank.openRow == coord.row) {
         // Row hit: column command can go immediately.
-        if (stats_)
-            stats_->add("row_hits");
+        statRowHits_.add();
         column_cmd = start;
     } else {
         Cycles act_at;
         if (bank.openRow == BankState::kNoRow) {
             // Bank precharged: just activate.
-            if (stats_)
-                stats_->add("row_misses");
+            statRowMisses_.add();
             act_at = earliestActivate(start);
         } else {
             // Conflict: precharge (respecting tRAS), then activate.
-            if (stats_)
-                stats_->add("row_conflicts");
+            statRowConflicts_.add();
             Cycles pre_at =
                 std::max(start, bank.activatedAt + cfg_.tRAS);
             act_at = earliestActivate(pre_at + cfg_.tRP);
@@ -97,8 +134,7 @@ DramChannel::access(const Coord &coord, bool is_write, Cycles arrival)
     if (is_write)
         bank.readyAt = std::max(bank.readyAt, burst_end + cfg_.tWR);
 
-    if (stats_)
-        stats_->add(is_write ? "writes" : "reads");
+    (is_write ? statWrites_ : statReads_).add();
     lastCompletion_ = std::max(lastCompletion_, burst_end);
     return burst_end;
 }

@@ -8,6 +8,13 @@
  * windows, and refresh through periodic tRFC blackouts. Row-buffer
  * state gives the open-page hit/miss/conflict behaviour that dominates
  * streaming-accelerator bandwidth.
+ *
+ * Hot-path notes: statistics bump through pre-resolved StatGroup
+ * handles (no per-access map lookups), the refresh phase is derived
+ * from a cached tREFI window (no per-access division in steady
+ * state), and same-open-row same-direction bursts take a short fast
+ * path that skips the activate/precharge state machine — all
+ * cycle-bitwise-identical to the general path.
  */
 
 #ifndef MGX_DRAM_DRAM_CHANNEL_H
@@ -60,7 +67,6 @@ class DramChannel
     void recordActivate(Cycles t);
 
     const Ddr4Config &cfg_;
-    StatGroup *stats_;
     std::vector<BankState> banks_;
     Cycles busFreeAt_ = 0;
     bool lastBurstWrite_ = false;
@@ -68,6 +74,15 @@ class DramChannel
     Cycles activateWindow_[4] = {};
     unsigned activateIdx_ = 0;
     Cycles lastCompletion_ = 0;
+    /** Start of the tREFI window containing the last adjusted cycle. */
+    Cycles refreshWinStart_ = 0;
+
+    StatGroup::Counter statRowHits_;
+    StatGroup::Counter statRowMisses_;
+    StatGroup::Counter statRowConflicts_;
+    StatGroup::Counter statReads_;
+    StatGroup::Counter statWrites_;
+    StatGroup::Counter statRefreshStalls_;
 };
 
 } // namespace mgx::dram

@@ -27,11 +27,16 @@ DramSystem::accessRange(Addr addr, u64 bytes, bool is_write, Cycles arrival)
     if (bytes == 0)
         return arrival;
     const u32 block = map_.blockBytes();
-    Addr first = alignDown(addr, block);
-    Addr last = alignDown(addr + bytes - 1, block);
+    const Addr first = alignDown(addr, block);
+    const u64 blocks =
+        (alignDown(addr + bytes - 1, block) - first) / block + 1;
+    AddressMap::LineWalker walker = map_.walkerAt(first);
+    accessCount_ += blocks;
     Cycles done = arrival;
-    for (Addr a = first; a <= last; a += block) {
-        Cycles c = access({a, is_write, arrival});
+    for (u64 i = 0; i < blocks; ++i, walker.next()) {
+        const Coord &coord = walker.coord();
+        Cycles c =
+            channels_[coord.channel]->access(coord, is_write, arrival);
         done = std::max(done, c);
     }
     return done;

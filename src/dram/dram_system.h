@@ -2,7 +2,9 @@
  * @file
  * Multi-channel DRAM system: the Ramulator stand-in. Decodes addresses,
  * routes each 64-byte access to its channel, and reports completion
- * times and aggregate statistics.
+ * times and aggregate statistics. Contiguous ranges decode
+ * incrementally through AddressMap::LineWalker instead of re-deriving
+ * every line's coordinates.
  */
 
 #ifndef MGX_DRAM_DRAM_SYSTEM_H
@@ -32,6 +34,19 @@ class DramSystem
     Cycles access(const Request &req);
 
     /**
+     * Serve one access at pre-decoded coordinates — the hot path for
+     * callers that walk ranges with a LineWalker and for repeated
+     * accesses to the same line (read-modify-write pairs).
+     */
+    Cycles
+    accessCoord(const Coord &coord, bool is_write, Cycles arrival)
+    {
+        ++accessCount_;
+        return channels_[coord.channel]->access(coord, is_write,
+                                                arrival);
+    }
+
+    /**
      * Serve a contiguous @p bytes-long transfer starting at @p addr as a
      * run of block accesses all arriving at @p arrival.
      * @return completion cycle of the last burst.
@@ -50,6 +65,9 @@ class DramSystem
 
     /** Block (column access) size in bytes. */
     u32 blockBytes() const { return map_.blockBytes(); }
+
+    /** The address map (range walkers for streaming callers). */
+    const AddressMap &map() const { return map_; }
 
     const Ddr4Config &config() const { return cfg_; }
 

@@ -72,20 +72,17 @@ GenomeKernel::generate()
                 const Addr ref_addr =
                     locus[batch + r] + t * config_.refChunkBytes;
                 p.accesses.push_back({ref_addr, config_.refChunkBytes,
-                                      AccessType::Read,
-                                      DataClass::GenomeTable, vn_ref,
-                                      64});
+                                      vn_ref, AccessType::Read,
+                                      DataClass::GenomeTable, 64});
                 // Query chunk: sequential within the batch.
                 p.accesses.push_back(
                     {queryBase_ + query_off, config_.queryChunkBytes,
-                     AccessType::Read, DataClass::GenomeQuery, vn_query,
-                     64});
+                     vn_query, AccessType::Read, DataClass::GenomeQuery, 64});
                 query_off += config_.queryChunkBytes;
                 // Traceback pointers: written once, sequentially.
                 p.accesses.push_back(
-                    {traceback, config_.tracebackBytesPerTile,
-                     AccessType::Write, DataClass::GenomeQuery,
-                     vn_query, 64});
+                    {traceback, config_.tracebackBytesPerTile, vn_query,
+                     AccessType::Write, DataClass::GenomeQuery, 64});
                 traceback += config_.tracebackBytesPerTile;
             }
             trace.push_back(std::move(p));

@@ -82,9 +82,8 @@ GraphKernel::generate()
                 // MAC (the paper's per-tile MAC; 512 B default covers
                 // it since the tile is one contiguous run).
                 p.accesses.push_back({adjacencyBase_ + tile_offset[b][t],
-                                      edges * eb, AccessType::Read,
-                                      DataClass::GraphMatrix, vn_adj,
-                                      0});
+                                      edges * eb, vn_adj, AccessType::Read,
+                                      DataClass::GraphMatrix, 0});
                 // Rank tile for the source vertices of this tile.
                 const u64 tile_lo = std::min<u64>(
                     static_cast<u64>(t) * engine_.srcTileVertices,
@@ -95,8 +94,8 @@ GraphKernel::generate()
                     if (tile_hi > tile_lo) {
                         p.accesses.push_back(
                             {buf_in + tile_lo * eb,
-                             (tile_hi - tile_lo) * eb, AccessType::Read,
-                             DataClass::GraphVector, vn_read, 0});
+                             (tile_hi - tile_lo) * eb, vn_read,
+                             AccessType::Read, DataClass::GraphVector, 0});
                     }
                 } else {
                     // SpMSpV: gather one vector entry per edge sample
@@ -107,9 +106,8 @@ GraphKernel::generate()
                         const u64 v =
                             tile_lo + rng.below(tile_hi - tile_lo);
                         p.accesses.push_back(
-                            {buf_in + alignDown(v * eb, 64), 64,
-                             AccessType::Read, DataClass::GraphVector,
-                             vn_read, 64});
+                            {buf_in + alignDown(v * eb, 64), 64, vn_read,
+                             AccessType::Read, DataClass::GraphVector, 64});
                     }
                 }
                 // Partial updated-rank stays on chip; only the final
@@ -117,8 +115,8 @@ GraphKernel::generate()
                 if (t + 1 == tiles_.srcTiles && block_hi > block_lo) {
                     p.accesses.push_back(
                         {buf_out + block_lo * eb,
-                         (block_hi - block_lo) * eb, AccessType::Write,
-                         DataClass::GraphVector, vn_write, 0});
+                         (block_hi - block_lo) * eb, vn_write,
+                         AccessType::Write, DataClass::GraphVector, 0});
                 }
                 trace.push_back(std::move(p));
             }

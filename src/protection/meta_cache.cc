@@ -5,8 +5,19 @@
 
 namespace mgx::protection {
 
+const char *
+metaClassName(MetaClass cls)
+{
+    switch (cls) {
+      case MetaClass::Vn: return "vn";
+      case MetaClass::Mac: return "mac";
+      case MetaClass::Tree: return "tree";
+    }
+    return "?";
+}
+
 MetaCache::MetaCache(u32 capacity_bytes, u32 ways, StatGroup *stats)
-    : ways_(ways), stats_(stats)
+    : ways_(ways)
 {
     const u32 num_lines = capacity_bytes / kLineBytes;
     if (ways_ == 0 || num_lines % ways_ != 0)
@@ -16,10 +27,15 @@ MetaCache::MetaCache(u32 capacity_bytes, u32 ways, StatGroup *stats)
     if (!isPow2(numSets_))
         fatal("meta cache: set count %u must be a power of two", numSets_);
     lines_.resize(static_cast<std::size_t>(numSets_) * ways_);
+    if (stats != nullptr) {
+        statHits_ = stats->counter("meta_cache_hits");
+        statMisses_ = stats->counter("meta_cache_misses");
+        statWritebacks_ = stats->counter("meta_cache_writebacks");
+    }
 }
 
 CacheResult
-MetaCache::access(Addr addr, bool dirty)
+MetaCache::access(Addr addr, bool dirty, MetaClass cls)
 {
     const Addr line_addr = alignDown(addr, kLineBytes);
     const u32 set =
@@ -33,9 +49,8 @@ MetaCache::access(Addr addr, bool dirty)
         if (line.valid && line.tag == line_addr) {
             line.lruTick = tick_;
             line.dirty |= dirty;
-            if (stats_)
-                stats_->add("meta_cache_hits");
-            return {true, false, 0};
+            statHits_.add();
+            return {true, false, 0, MetaClass::Vn};
         }
     }
 
@@ -56,25 +71,25 @@ MetaCache::access(Addr addr, bool dirty)
     if (victim->valid && victim->dirty) {
         result.writeback = true;
         result.victimAddr = victim->tag;
-        if (stats_)
-            stats_->add("meta_cache_writebacks");
+        result.victimClass = victim->cls;
+        statWritebacks_.add();
     }
     victim->valid = true;
     victim->dirty = dirty;
+    victim->cls = cls;
     victim->tag = line_addr;
     victim->lruTick = tick_;
-    if (stats_)
-        stats_->add("meta_cache_misses");
+    statMisses_.add();
     return result;
 }
 
-std::vector<Addr>
+std::vector<MetaCache::FlushedLine>
 MetaCache::flush()
 {
-    std::vector<Addr> dirty_lines;
+    std::vector<FlushedLine> dirty_lines;
     for (auto &line : lines_) {
         if (line.valid && line.dirty)
-            dirty_lines.push_back(line.tag);
+            dirty_lines.push_back({line.tag, line.cls});
         line.valid = false;
         line.dirty = false;
     }

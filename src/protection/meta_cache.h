@@ -2,6 +2,11 @@
  * @file
  * The baseline scheme's on-chip VN/MAC/tree cache: set-associative,
  * LRU, write-back, write-allocate, 64-byte lines (paper §VI-A).
+ *
+ * Every resident line is tagged with the metadata class it caches
+ * (VN, MAC, or integrity-tree), so dirty-victim writebacks — mid-run
+ * evictions and the end-of-run flush alike — can be attributed to the
+ * correct traffic category by the caller.
  */
 
 #ifndef MGX_PROTECTION_META_CACHE_H
@@ -14,12 +19,19 @@
 
 namespace mgx::protection {
 
+/** Which metadata region a cached line belongs to. */
+enum class MetaClass : u8 { Vn, Mac, Tree };
+
+/** Human-readable class name (tests and stat dumps). */
+const char *metaClassName(MetaClass cls);
+
 /** Outcome of one cache access. */
 struct CacheResult
 {
     bool hit = false;
     bool writeback = false; ///< a dirty victim was evicted
     Addr victimAddr = 0;    ///< its line address, valid iff writeback
+    MetaClass victimClass = MetaClass::Vn; ///< valid iff writeback
 };
 
 /** Set-associative write-back metadata cache. */
@@ -40,11 +52,20 @@ class MetaCache
      * (write-allocate), possibly evicting a dirty victim that the
      * caller must write back to DRAM.
      * @param dirty mark the line dirty (a metadata update)
+     * @param cls   metadata class of the line being accessed
      */
-    CacheResult access(Addr addr, bool dirty);
+    CacheResult access(Addr addr, bool dirty,
+                       MetaClass cls = MetaClass::Vn);
 
-    /** Flush all dirty lines; returns their line addresses. */
-    std::vector<Addr> flush();
+    /** A dirty line surrendered by flush(). */
+    struct FlushedLine
+    {
+        Addr addr = 0;
+        MetaClass cls = MetaClass::Vn;
+    };
+
+    /** Flush all dirty lines; returns their addresses and classes. */
+    std::vector<FlushedLine> flush();
 
     /** Invalidate everything without writeback (new session). */
     void reset();
@@ -56,6 +77,7 @@ class MetaCache
     {
         bool valid = false;
         bool dirty = false;
+        MetaClass cls = MetaClass::Vn;
         Addr tag = 0;  ///< full line address
         u64 lruTick = 0;
     };
@@ -63,8 +85,11 @@ class MetaCache
     u32 ways_;
     u32 numSets_;
     u64 tick_ = 0;
-    StatGroup *stats_;
     std::vector<Line> lines_; ///< numSets_ x ways_, row-major
+
+    StatGroup::Counter statHits_;
+    StatGroup::Counter statMisses_;
+    StatGroup::Counter statWritebacks_;
 };
 
 } // namespace mgx::protection

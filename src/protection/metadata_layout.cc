@@ -9,6 +9,16 @@ MetadataLayout::MetadataLayout(const ProtectionConfig &cfg) : cfg_(cfg)
 {
     if (!isPow2(cfg_.baselineGranularity) || !isPow2(cfg_.macGranularity))
         fatal("protection granularities must be powers of two");
+    if (!isPow2(cfg_.vnBytes) || !isPow2(cfg_.macBytes) ||
+        !isPow2(cfg_.treeArity))
+        fatal("protection metadata sizes must be powers of two");
+
+    // The hot-path address computations below reduce to shifts; the
+    // constructor is the only place that divides.
+    baselineShift_ = log2i(cfg_.baselineGranularity);
+    vnBytesShift_ = log2i(cfg_.vnBytes);
+    macBytesShift_ = log2i(cfg_.macBytes);
+    arityShift_ = log2i(cfg_.treeArity);
 
     macBase_ = cfg_.protectedBytes;
     // Size the MAC region for the finest granularity any access may
@@ -41,15 +51,20 @@ MetadataLayout::MetadataLayout(const ProtectionConfig &cfg) : cfg_(cfg)
 Addr
 MetadataLayout::macLineAddr(Addr data_addr, u32 mac_gran) const
 {
-    const u64 tag_index = data_addr / mac_gran;
-    return alignDown(macBase_ + tag_index * cfg_.macBytes, kLineBytes);
+    // Per-access overrides are not validated at config time, so fall
+    // back to the division for the (unseen in practice) non-pow2 case.
+    const u64 tag_index = isPow2(mac_gran)
+                              ? data_addr >> log2i(mac_gran)
+                              : data_addr / mac_gran;
+    return alignDown(macBase_ + (tag_index << macBytesShift_),
+                     kLineBytes);
 }
 
 Addr
 MetadataLayout::vnLineAddr(Addr data_addr) const
 {
     const u64 vn_off =
-        data_addr / cfg_.baselineGranularity * cfg_.vnBytes;
+        (data_addr >> baselineShift_) << vnBytesShift_;
     return alignDown(vnBase_ + vn_off, kLineBytes);
 }
 
@@ -59,10 +74,9 @@ MetadataLayout::treeNodeAddr(u32 level, Addr data_addr) const
     if (level == 0 || level > treeLevels())
         panic("tree level %u out of range (1..%u)", level, treeLevels());
     const u64 vn_off =
-        data_addr / cfg_.baselineGranularity * cfg_.vnBytes;
-    u64 idx = vn_off / kLineBytes;
-    for (u32 l = 0; l < level; ++l)
-        idx /= cfg_.treeArity;
+        (data_addr >> baselineShift_) << vnBytesShift_;
+    // Dividing by a power of two L times is one shift by L * log2.
+    const u64 idx = (vn_off / kLineBytes) >> (level * arityShift_);
     return treeBase_[level - 1] + idx * kLineBytes;
 }
 

@@ -64,6 +64,12 @@ class MetadataLayout
     Addr vnBase_ = 0;
     std::vector<Addr> treeBase_; ///< treeBase_[l-1] = base of level l
     u64 totalMetadataBytes_ = 0;
+    // log2 of the pow2-validated config values: the per-block address
+    // computations shift instead of divide.
+    u32 baselineShift_ = 0;
+    u32 vnBytesShift_ = 0;
+    u32 macBytesShift_ = 0;
+    u32 arityShift_ = 0;
 };
 
 } // namespace mgx::protection

@@ -84,18 +84,16 @@ class ProtectionEngine
     /** Cache and engine statistics. */
     const StatGroup &stats() const { return stats_; }
 
+    /** Logical accesses served (the kernel-facing request count). */
+    u64 logicalAccesses() const { return statLogicalAccesses_.value(); }
+
+    /** The DRAM system behind this engine (real access counts). */
+    const dram::DramSystem &dram() const { return *dram_; }
+
     const ProtectionConfig &config() const { return cfg_; }
     const MetadataLayout &layout() const { return layout_; }
 
   private:
-    /** One metadata line access straight to DRAM (uncached schemes). */
-    Cycles issueLine(Addr line_addr, bool is_write, Cycles arrival,
-                     u64 &byte_counter);
-
-    /** Cached metadata access: miss fill + dirty-victim writeback. */
-    Cycles cachedLine(Addr line_addr, bool dirty, Cycles arrival,
-                      u64 &byte_counter);
-
     /** Data+MAC path shared by MGX and MGX_VN (and MGX_MAC's MAC half). */
     Cycles mgxMacPath(const core::LogicalAccess &acc, u32 gran,
                       Cycles arrival, bool data_too);
@@ -104,12 +102,27 @@ class ProtectionEngine
     Cycles baselinePath(const core::LogicalAccess &acc, Cycles arrival,
                         bool mac_per_block);
 
+    /** The traffic counter a @p cls metadata line is charged to. */
+    u64 &trafficFor(MetaClass cls);
+
+    /** One deferred metadata DRAM request (see baselinePath). */
+    struct PendingReq
+    {
+        Addr addr;
+        bool write;
+    };
+
     ProtectionConfig cfg_;
     MetadataLayout layout_;
     dram::DramSystem *dram_;
     StatGroup stats_;
     MetaCache cache_;
     TrafficBreakdown traffic_;
+    StatGroup::Counter statLogicalAccesses_;
+    // Scratch queues reused across baselinePath calls so the per-access
+    // hot path never allocates once their high-water mark is reached.
+    std::vector<PendingReq> metaReqs_;
+    std::vector<PendingReq> macReqs_;
 };
 
 } // namespace mgx::protection

@@ -46,7 +46,9 @@ PerfModel::run(const core::Trace &trace)
     result.totalCycles = std::max(compute_done, flushed);
     result.memoryCycles = mem_busy;
     result.traffic = engine_->traffic();
-    result.dramAccesses = engine_->stats().get("logical_accesses");
+    result.dramAccesses = engine_->dram().accessCount();
+    result.logicalAccesses = engine_->logicalAccesses();
+    result.traceBytes = trace.memoryBytes();
     result.seconds =
         static_cast<double>(result.totalCycles) / (ctrlMhz_ * 1e6);
     return result;

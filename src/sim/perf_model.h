@@ -31,7 +31,9 @@ struct RunResult
     Cycles computeCycles = 0; ///< sum of compute (controller cycles)
     Cycles memoryCycles = 0;  ///< busy span of the memory stream
     protection::TrafficBreakdown traffic;
-    u64 dramAccesses = 0;
+    u64 dramAccesses = 0;     ///< 64 B DRAM requests actually issued
+    u64 logicalAccesses = 0;  ///< kernel-level requests into the engine
+    u64 traceBytes = 0;       ///< memory footprint of the replayed trace
     double seconds = 0.0;
 
     /** Memory traffic relative to the pure data traffic (>= 1). */

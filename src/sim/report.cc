@@ -107,6 +107,8 @@ writeJson(const ResultSet &rs, std::ostream &out)
             << ", \"memoryCycles\": " << r.result.memoryCycles
             << ", \"seconds\": " << jsonNumber(r.result.seconds)
             << ", \"dramAccesses\": " << r.result.dramAccesses
+            << ", \"logicalAccesses\": " << r.result.logicalAccesses
+            << ", \"traceBytes\": " << r.result.traceBytes
             << ",\n"
             << "     \"traffic\": {\"data\": " << t.dataBytes
             << ", \"expand\": " << t.expandBytes

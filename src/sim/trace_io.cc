@@ -37,7 +37,9 @@ void
 writeTrace(const core::Trace &trace, std::ostream &out)
 {
     for (const auto &phase : trace) {
-        out << "P " << (phase.name.empty() ? "-" : phase.name) << ' '
+        out << "P " << (phase.name.empty() ? std::string_view{"-"}
+                                           : phase.name)
+            << ' '
             << phase.computeCycles << '\n';
         for (const auto &acc : phase.accesses) {
             out << "A " << (acc.type == AccessType::Write ? 'w' : 'r')
@@ -77,7 +79,7 @@ readTrace(std::istream &in)
                 fatal("trace line %u: malformed phase header", line_no);
             if (phase.name == "-")
                 phase.name.clear();
-            trace.push_back(std::move(phase));
+            trace.push_back(phase);
         } else if (tag == "A") {
             if (trace.empty())
                 fatal("trace line %u: access before any phase",
@@ -93,7 +95,7 @@ readTrace(std::istream &in)
             acc.type =
                 rw == 'w' ? AccessType::Write : AccessType::Read;
             acc.cls = classFromToken(cls, line_no);
-            trace.back().accesses.push_back(acc);
+            trace.appendAccess(acc);
         } else {
             fatal("trace line %u: unknown record '%s'", line_no,
                   tag.c_str());

@@ -54,13 +54,13 @@ VideoKernel::generate()
              ++r) {
             p.accesses.push_back(
                 {bufferAddr(frame.refBufferIndices[r]), frame_bytes,
-                 AccessType::Read, DataClass::VideoFrame,
-                 frameVn(frame.refDisplayNumbers[r]), 0});
+                 frameVn(frame.refDisplayNumbers[r]), AccessType::Read,
+                 DataClass::VideoFrame, 0});
         }
         // The output frame: written exactly once per address.
         p.accesses.push_back({bufferAddr(frame.bufferIndex), frame_bytes,
-                              AccessType::Write, DataClass::VideoFrame,
-                              frameVn(frame.displayNumber), 0});
+                              frameVn(frame.displayNumber),
+                              AccessType::Write, DataClass::VideoFrame, 0});
         trace.push_back(std::move(p));
     }
     return trace;

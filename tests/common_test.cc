@@ -136,6 +136,55 @@ TEST(Stats, Ratio)
     EXPECT_DOUBLE_EQ(stats.ratio("num", "zero"), 0.0);
 }
 
+TEST(Stats, HandleAndStringApiShareSlots)
+{
+    StatGroup stats("test");
+    StatGroup::Counter hits = stats.counter("hits");
+    EXPECT_TRUE(hits.valid());
+    hits.add();
+    hits += 4;
+    ++hits;
+    EXPECT_EQ(stats.get("hits"), 6u);   // handle bumps visible by name
+    stats.add("hits", 10);
+    EXPECT_EQ(hits.value(), 16u);       // and vice versa
+    // Resolving the same name twice yields the same slot.
+    StatGroup::Counter again = stats.counter("hits");
+    again.add();
+    EXPECT_EQ(hits.value(), 17u);
+}
+
+TEST(Stats, NullCounterIsASafeSink)
+{
+    StatGroup::Counter null;
+    EXPECT_FALSE(null.valid());
+    null.add(42); // must not crash
+    ++null;
+    EXPECT_EQ(null.value(), 0u);
+}
+
+TEST(Stats, ClearKeepsHandlesValid)
+{
+    StatGroup stats("test");
+    StatGroup::Counter c = stats.counter("events");
+    c += 7;
+    stats.clear();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(stats.get("events"), 0u);
+    c.add(3); // handle survives the clear
+    EXPECT_EQ(stats.get("events"), 3u);
+}
+
+TEST(Stats, CountersSnapshotIsSortedByKey)
+{
+    StatGroup stats("test");
+    stats.counter("b_second").add(2);
+    stats.counter("a_first").add(1);
+    auto snap = stats.counters();
+    ASSERT_EQ(snap.size(), 2u);
+    EXPECT_EQ(snap.begin()->first, "a_first");
+    EXPECT_EQ(snap.at("b_second"), 2u);
+}
+
 TEST(Types, DataClassNames)
 {
     EXPECT_STREQ(dataClassName(DataClass::Feature), "feature");

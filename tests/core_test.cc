@@ -100,15 +100,15 @@ TEST(VnState, ClearResets)
 LogicalAccess
 wr(Addr addr, u64 bytes, Vn value)
 {
-    return {addr, bytes, AccessType::Write, DataClass::Generic,
-            makeVn(DataClass::Generic, value), 0};
+    return {addr, bytes, makeVn(DataClass::Generic, value),
+            AccessType::Write, DataClass::Generic, 0};
 }
 
 LogicalAccess
 rd(Addr addr, u64 bytes, Vn value)
 {
-    return {addr, bytes, AccessType::Read, DataClass::Generic,
-            makeVn(DataClass::Generic, value), 0};
+    return {addr, bytes, makeVn(DataClass::Generic, value),
+            AccessType::Read, DataClass::Generic, 0};
 }
 
 TEST(InvariantChecker, AcceptsMonotonicWrites)
@@ -148,10 +148,10 @@ TEST(InvariantChecker, RejectsStaleRead)
 TEST(InvariantChecker, DifferentTagsAreIndependentCounters)
 {
     InvariantChecker checker;
-    checker.observe({0, 64, AccessType::Write, DataClass::Feature,
-                     makeVn(DataClass::Feature, 1), 0});
-    checker.observe({0, 64, AccessType::Write, DataClass::Weight,
-                     makeVn(DataClass::Weight, 1), 0});
+    checker.observe({0, 64, makeVn(DataClass::Feature, 1),
+                     AccessType::Write, DataClass::Feature, 0});
+    checker.observe({0, 64, makeVn(DataClass::Weight, 1), AccessType::Write,
+                     DataClass::Weight, 0});
     EXPECT_TRUE(checker.report().ok);
 }
 

@@ -50,6 +50,59 @@ TEST(AddressMap, DistinctCoordsForDistinctBlocks)
     }
 }
 
+TEST(AddressMap, LineWalkerMatchesDecodePerLine)
+{
+    // The incremental carry-chain decode must agree with the full
+    // decode for every consecutive block — across channel, column,
+    // bank, rank and row carries.
+    for (u32 channels : {1u, 4u}) {
+        Ddr4Config cfg = ddr4_2400(channels);
+        cfg.ranksPerChannel = 2;
+        AddressMap map(cfg);
+        // Enough blocks to cross several rows on every bank.
+        const u64 blocks =
+            static_cast<u64>(cfg.rowBytes / 64) * cfg.banksPerRank *
+                cfg.ranksPerChannel * channels * 3 +
+            17;
+        const Addr start = 0x12340; // unaligned start, mid-row
+        AddressMap::LineWalker w = map.walkerAt(start);
+        for (u64 i = 0; i < blocks; ++i, w.next()) {
+            const Coord ref = map.decode(start + i * 64);
+            const Coord &got = w.coord();
+            ASSERT_EQ(got.channel, ref.channel) << "block " << i;
+            ASSERT_EQ(got.column, ref.column) << "block " << i;
+            ASSERT_EQ(got.bank, ref.bank) << "block " << i;
+            ASSERT_EQ(got.rank, ref.rank) << "block " << i;
+            ASSERT_EQ(got.row, ref.row) << "block " << i;
+        }
+    }
+}
+
+TEST(DramSystem, AccessRangeMatchesPerLineAccesses)
+{
+    // The walker-based range path must time and count exactly like
+    // issuing each 64 B request through the decode-per-line path.
+    Ddr4Config cfg = ddr4_2400(2);
+    DramSystem range_sys(cfg);
+    DramSystem line_sys(cfg);
+    const Addr base = 0x7ff40; // straddles rows, unaligned
+    const u64 bytes = 3 * cfg.rowBytes + 100;
+
+    const Cycles range_done = range_sys.accessRange(base, bytes, false, 5);
+    Cycles line_done = 5;
+    const Addr first = base & ~Addr{63};
+    const Addr last = (base + bytes - 1) & ~Addr{63};
+    for (Addr a = first; a <= last; a += 64)
+        line_done = std::max(line_done, line_sys.access({a, false, 5}));
+
+    EXPECT_EQ(range_done, line_done);
+    EXPECT_EQ(range_sys.accessCount(), line_sys.accessCount());
+    EXPECT_EQ(range_sys.stats().get("row_hits"),
+              line_sys.stats().get("row_hits"));
+    EXPECT_EQ(range_sys.stats().get("row_misses"),
+              line_sys.stats().get("row_misses"));
+}
+
 TEST(DramChannel, RowHitIsFasterThanMiss)
 {
     Ddr4Config cfg = ddr4_2400(1);

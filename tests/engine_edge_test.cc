@@ -35,7 +35,7 @@ TEST(EngineEdge, ZeroByteAccessIsFree)
 {
     EngineFixture f(Scheme::BP);
     Cycles done = f.engine->access(
-        {0, 0, AccessType::Read, DataClass::Generic, 1, 0}, 100);
+        {0, 0, 1, AccessType::Read, DataClass::Generic, 0}, 100);
     EXPECT_EQ(done, 100u);
     EXPECT_EQ(f.engine->traffic().totalBytes(), 0u);
 }
@@ -43,8 +43,7 @@ TEST(EngineEdge, ZeroByteAccessIsFree)
 TEST(EngineEdge, SingleByteReadExpandsToMacBlock)
 {
     EngineFixture f(Scheme::MGX);
-    f.engine->access({1000, 1, AccessType::Read, DataClass::Generic, 1,
-                      0},
+    f.engine->access({1000, 1, 1, AccessType::Read, DataClass::Generic, 0},
                      0);
     const auto &t = f.engine->traffic();
     EXPECT_EQ(t.dataBytes, 1u);
@@ -56,8 +55,7 @@ TEST(EngineEdge, UnalignedReadSpanningTwoMacBlocks)
 {
     EngineFixture f(Scheme::MGX);
     // [300, 812) straddles blocks [0,512) and [512,1024).
-    f.engine->access({300, 512, AccessType::Read, DataClass::Generic,
-                      1, 0},
+    f.engine->access({300, 512, 1, AccessType::Read, DataClass::Generic, 0},
                      0);
     const auto &t = f.engine->traffic();
     EXPECT_EQ(t.dataBytes, 512u);
@@ -68,8 +66,8 @@ TEST(EngineEdge, UnalignedReadSpanningTwoMacBlocks)
 TEST(EngineEdge, HugeSingleAccessScalesLinearly)
 {
     EngineFixture f(Scheme::MGX);
-    f.engine->access({0, 64 << 20, AccessType::Read,
-                      DataClass::Generic, 1, 0},
+    f.engine->access({0, 64 << 20, 1, AccessType::Read, DataClass::Generic,
+                      0},
                      0);
     const auto &t = f.engine->traffic();
     // 64 MB at 512 B/tag, 8 tags/line -> 16K lines -> 1 MB of MACs.
@@ -93,8 +91,7 @@ TEST(EngineEdge, OverrideIgnoredByBaselineSchemes)
 TEST(EngineEdge, MgxMacCombinesVnTreeWithCoarseMacs)
 {
     EngineFixture f(Scheme::MGX_MAC);
-    f.engine->access({0, 4096, AccessType::Read, DataClass::Generic, 1,
-                      0},
+    f.engine->access({0, 4096, 1, AccessType::Read, DataClass::Generic, 0},
                      0);
     const auto &t = f.engine->traffic();
     EXPECT_GT(t.vnBytes, 0u);   // still pays the off-chip VN path
@@ -105,8 +102,7 @@ TEST(EngineEdge, MgxMacCombinesVnTreeWithCoarseMacs)
 TEST(EngineEdge, FlushIsIdempotent)
 {
     EngineFixture f(Scheme::BP);
-    f.engine->access({0, 4096, AccessType::Write, DataClass::Generic,
-                      1, 0},
+    f.engine->access({0, 4096, 1, AccessType::Write, DataClass::Generic, 0},
                      0);
     Cycles first = f.engine->flush(0);
     const u64 traffic_after_first = f.engine->traffic().totalBytes();
@@ -118,8 +114,7 @@ TEST(EngineEdge, FlushIsIdempotent)
 TEST(EngineEdge, NpFlushIsFree)
 {
     EngineFixture f(Scheme::NP);
-    f.engine->access({0, 4096, AccessType::Write, DataClass::Generic,
-                      1, 0},
+    f.engine->access({0, 4096, 1, AccessType::Write, DataClass::Generic, 0},
                      0);
     EXPECT_EQ(f.engine->flush(42), 42u);
 }
@@ -127,12 +122,10 @@ TEST(EngineEdge, NpFlushIsFree)
 TEST(EngineEdge, RepeatedReadsHitMetadataCache)
 {
     EngineFixture f(Scheme::BP);
-    f.engine->access({0, 512, AccessType::Read, DataClass::Generic, 1,
-                      0},
+    f.engine->access({0, 512, 1, AccessType::Read, DataClass::Generic, 0},
                      0);
     const u64 first = f.engine->traffic().totalBytes();
-    f.engine->access({0, 512, AccessType::Read, DataClass::Generic, 1,
-                      0},
+    f.engine->access({0, 512, 1, AccessType::Read, DataClass::Generic, 0},
                      0);
     // Second pass adds only the data bytes: all metadata is cached.
     EXPECT_EQ(f.engine->traffic().totalBytes(), first + 512);
@@ -141,11 +134,11 @@ TEST(EngineEdge, RepeatedReadsHitMetadataCache)
 TEST(EngineEdge, WriteThenReadSameBlockUnderMgx)
 {
     EngineFixture f(Scheme::MGX);
-    Cycles w = f.engine->access({0, 512, AccessType::Write,
-                                 DataClass::Generic, 2, 0},
+    Cycles w = f.engine->access({0, 512, 2, AccessType::Write,
+                                 DataClass::Generic, 0},
                                 0);
-    Cycles r = f.engine->access({0, 512, AccessType::Read,
-                                 DataClass::Generic, 2, 0},
+    Cycles r = f.engine->access({0, 512, 2, AccessType::Read,
+                                 DataClass::Generic, 0},
                                 w);
     EXPECT_GT(r, w);
     const auto &t = f.engine->traffic();
@@ -159,8 +152,8 @@ TEST(EngineEdge, AccessAtRegionTopStaysInBounds)
 {
     EngineFixture f(Scheme::BP);
     const Addr top = f.cfg.protectedBytes - 4096;
-    Cycles done = f.engine->access({top, 4096, AccessType::Read,
-                                    DataClass::Generic, 1, 0},
+    Cycles done = f.engine->access({top, 4096, 1, AccessType::Read,
+                                    DataClass::Generic, 0},
                                    0);
     EXPECT_GT(done, 0u);
     // Metadata addresses must land above the data region.
@@ -174,8 +167,8 @@ TEST(EngineEdge, LogicalAccessCountTracked)
 {
     EngineFixture f(Scheme::MGX);
     for (int i = 0; i < 7; ++i)
-        f.engine->access({static_cast<Addr>(i) * 4096, 512,
-                          AccessType::Read, DataClass::Generic, 1, 0},
+        f.engine->access({static_cast<Addr>(i) * 4096, 512, 1,
+                          AccessType::Read, DataClass::Generic, 0},
                          0);
     EXPECT_EQ(f.engine->stats().get("logical_accesses"), 7u);
 }

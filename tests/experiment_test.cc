@@ -227,12 +227,15 @@ TEST(Report, JsonGolden)
     np.memoryCycles = 800;
     np.traffic.dataBytes = 4096;
     np.dramAccesses = 64;
+    np.logicalAccesses = 2;
+    np.traceBytes = 512;
     np.seconds = 0.5;
 
     RunResult mgx = np;
     mgx.totalCycles = 1030;
     mgx.traffic.expandBytes = 64;
     mgx.traffic.macBytes = 64;
+    mgx.dramAccesses = 66;
 
     ResultSet rs;
     rs.add({{"core/matmul", "Edge", Scheme::NP}, np});
@@ -246,7 +249,8 @@ TEST(Report, JsonGolden)
         "\"scheme\": \"NP\",\n"
         "     \"cycles\": 1000, \"computeCycles\": 600, "
         "\"memoryCycles\": 800, \"seconds\": 0.5, "
-        "\"dramAccesses\": 64,\n"
+        "\"dramAccesses\": 64, \"logicalAccesses\": 2, "
+        "\"traceBytes\": 512,\n"
         "     \"traffic\": {\"data\": 4096, \"expand\": 0, \"mac\": 0, "
         "\"vn\": 0, \"tree\": 0, \"total\": 4096},\n"
         "     \"normalizedTime\": 1, \"trafficIncrease\": 1},\n"
@@ -254,7 +258,8 @@ TEST(Report, JsonGolden)
         "\"scheme\": \"MGX\",\n"
         "     \"cycles\": 1030, \"computeCycles\": 600, "
         "\"memoryCycles\": 800, \"seconds\": 0.5, "
-        "\"dramAccesses\": 64,\n"
+        "\"dramAccesses\": 66, \"logicalAccesses\": 2, "
+        "\"traceBytes\": 512,\n"
         "     \"traffic\": {\"data\": 4096, \"expand\": 64, "
         "\"mac\": 64, \"vn\": 0, \"tree\": 0, \"total\": 4224},\n"
         "     \"normalizedTime\": 1.03, \"trafficIncrease\": "

@@ -145,6 +145,46 @@ TEST(MetaCache, FlushReturnsAllDirtyLines)
     EXPECT_FALSE(cache.access(0x0, false).hit);
 }
 
+TEST(MetaCache, EvictionReportsVictimsOwnClass)
+{
+    // A VN access that evicts a dirty tree line must surface the
+    // *victim's* class, so the writeback lands in treeBytes even
+    // though the new line is VN metadata.
+    MetaCache cache(256, 2);
+    cache.access(0 * 64, true, MetaClass::Tree);
+    cache.access(2 * 64, true, MetaClass::Mac);
+    CacheResult r = cache.access(4 * 64, true, MetaClass::Vn);
+    ASSERT_TRUE(r.writeback);
+    EXPECT_EQ(r.victimAddr, 0u);
+    EXPECT_EQ(r.victimClass, MetaClass::Tree)
+        << "evicted a " << metaClassName(r.victimClass) << " line";
+    // Next eviction in the set surrenders the MAC line.
+    r = cache.access(6 * 64, false, MetaClass::Vn);
+    ASSERT_TRUE(r.writeback);
+    EXPECT_EQ(r.victimAddr, 2u * 64);
+    EXPECT_EQ(r.victimClass, MetaClass::Mac)
+        << "evicted a " << metaClassName(r.victimClass) << " line";
+}
+
+TEST(MetaCache, FlushReportsPerLineClasses)
+{
+    MetaCache cache(32 << 10, 8);
+    cache.access(0x0, true, MetaClass::Vn);
+    cache.access(0x40, true, MetaClass::Tree);
+    cache.access(0x80, true, MetaClass::Mac);
+    auto dirty = cache.flush();
+    ASSERT_EQ(dirty.size(), 3u);
+    u32 vn = 0, mac = 0, tree = 0;
+    for (const auto &line : dirty) {
+        if (line.cls == MetaClass::Vn) ++vn;
+        if (line.cls == MetaClass::Mac) ++mac;
+        if (line.cls == MetaClass::Tree) ++tree;
+    }
+    EXPECT_EQ(vn, 1u);
+    EXPECT_EQ(mac, 1u);
+    EXPECT_EQ(tree, 1u);
+}
+
 // -- ProtectionEngine traffic ----------------------------------------------------
 
 /** Data+metadata bytes for one logical access under a scheme. */
@@ -157,10 +197,38 @@ trafficFor(Scheme scheme, const LogicalAccess &acc)
     return engine.traffic();
 }
 
+TEST(ProtectionEngine, FlushAttributesWritebacksByClass)
+{
+    // A BP write dirties VN lines (and possibly tree/MAC lines) in the
+    // cache; the end-of-run flush must charge each dirty line to its
+    // own class instead of lumping everything into treeBytes.
+    dram::DramSystem dram(dram::ddr4_2400(1));
+    ProtectionEngine engine(smallConfig(Scheme::BP), &dram);
+    engine.access({0, 16 << 10, 1, AccessType::Write,
+                   DataClass::Generic, 0},
+                  0);
+    const TrafficBreakdown before = engine.traffic();
+    engine.flush(0);
+    const TrafficBreakdown after = engine.traffic();
+
+    const u64 d_vn = after.vnBytes - before.vnBytes;
+    const u64 d_mac = after.macBytes - before.macBytes;
+    const u64 d_tree = after.treeBytes - before.treeBytes;
+    // 16 KB of dirty data -> 256 VNs -> 32 dirty VN lines, plus dirty
+    // MAC lines and the dirtied tree path. VN and MAC flush traffic
+    // must be attributed to their own categories.
+    EXPECT_EQ(d_vn, (16u << 10) / 64 / 8 * 64);
+    EXPECT_GT(d_mac, 0u);
+    EXPECT_GT(d_tree, 0u);
+    // Data and expand traffic never move at flush time.
+    EXPECT_EQ(after.dataBytes, before.dataBytes);
+    EXPECT_EQ(after.expandBytes, before.expandBytes);
+}
+
 TEST(ProtectionEngine, NpIsDataOnly)
 {
     TrafficBreakdown t = trafficFor(
-        Scheme::NP, {0, 4096, AccessType::Read, DataClass::Generic, 1, 0});
+        Scheme::NP, {0, 4096, 1, AccessType::Read, DataClass::Generic, 0});
     EXPECT_EQ(t.dataBytes, 4096u);
     EXPECT_EQ(t.totalBytes(), 4096u);
 }
@@ -170,7 +238,7 @@ TEST(ProtectionEngine, MgxRead4kExactly64MacBytes)
     // 4 KB aligned read at 512 B granularity: 8 tags = one 64 B line.
     TrafficBreakdown t = trafficFor(
         Scheme::MGX,
-        {0, 4096, AccessType::Read, DataClass::Generic, 1, 0});
+        {0, 4096, 1, AccessType::Read, DataClass::Generic, 0});
     EXPECT_EQ(t.dataBytes, 4096u);
     EXPECT_EQ(t.macBytes, 64u);
     EXPECT_EQ(t.vnBytes, 0u);
@@ -183,7 +251,7 @@ TEST(ProtectionEngine, MgxAlignedWriteNeedsNoMacFetch)
 {
     TrafficBreakdown t = trafficFor(
         Scheme::MGX,
-        {0, 4096, AccessType::Write, DataClass::Generic, 1, 0});
+        {0, 4096, 1, AccessType::Write, DataClass::Generic, 0});
     // The tag line is fully regenerated: one write, no RMW fetch.
     EXPECT_EQ(t.macBytes, 64u);
 }
@@ -194,7 +262,7 @@ TEST(ProtectionEngine, MgxPartialWriteReadsModifiesWrites)
     // must be fetched and the tag line read-modify-written.
     TrafficBreakdown t = trafficFor(
         Scheme::MGX,
-        {0, 256, AccessType::Write, DataClass::Generic, 1, 0});
+        {0, 256, 1, AccessType::Write, DataClass::Generic, 0});
     EXPECT_EQ(t.dataBytes, 256u);
     EXPECT_EQ(t.expandBytes, 256u);        // block remainder
     EXPECT_EQ(t.macBytes, 128u);           // tag line read + write
@@ -205,7 +273,7 @@ TEST(ProtectionEngine, MgxVnUsesFineMacs)
     // 4 KB read with 64 B MACs: 64 tags = 8 tag lines = 512 B.
     TrafficBreakdown t = trafficFor(
         Scheme::MGX_VN,
-        {0, 4096, AccessType::Read, DataClass::Generic, 1, 0});
+        {0, 4096, 1, AccessType::Read, DataClass::Generic, 0});
     EXPECT_EQ(t.macBytes, 512u);
     EXPECT_NEAR(t.overhead(), 0.125, 0.001);
 }
@@ -215,9 +283,9 @@ TEST(ProtectionEngine, MacGranularityOverrideRespected)
     // DLRM-style: a 64 B gather with a 64 B MAC override costs exactly
     // one tag line instead of forcing a 512 B block verification.
     TrafficBreakdown coarse = trafficFor(
-        Scheme::MGX, {0, 64, AccessType::Read, DataClass::Weight, 1, 0});
+        Scheme::MGX, {0, 64, 1, AccessType::Read, DataClass::Weight, 0});
     TrafficBreakdown fine = trafficFor(
-        Scheme::MGX, {0, 64, AccessType::Read, DataClass::Weight, 1, 64});
+        Scheme::MGX, {0, 64, 1, AccessType::Read, DataClass::Weight, 64});
     EXPECT_EQ(coarse.expandBytes, 448u); // whole 512 B block fetched
     EXPECT_EQ(fine.expandBytes, 0u);
     EXPECT_EQ(fine.macBytes, 64u);
@@ -230,8 +298,7 @@ TEST(ProtectionEngine, BpStreamingReadOverhead)
     // after the first walk. Overhead must land near 25-30%.
     dram::DramSystem dram(dram::ddr4_2400(1));
     ProtectionEngine engine(smallConfig(Scheme::BP), &dram);
-    engine.access({0, 64 << 10, AccessType::Read, DataClass::Generic, 1,
-                   0},
+    engine.access({0, 64 << 10, 1, AccessType::Read, DataClass::Generic, 0},
                   0);
     TrafficBreakdown t = engine.traffic();
     EXPECT_EQ(t.dataBytes, 64u << 10);
@@ -248,9 +315,9 @@ TEST(ProtectionEngine, BpWriteCostsMoreThanRead)
     auto run = [](bool write) {
         dram::DramSystem dram(dram::ddr4_2400(1));
         ProtectionEngine engine(smallConfig(Scheme::BP), &dram);
-        engine.access({0, 1 << 20,
+        engine.access({0, 1 << 20, 1,
                        write ? AccessType::Write : AccessType::Read,
-                       DataClass::Generic, 1, 0},
+                       DataClass::Generic, 0},
                       0);
         engine.flush(0);
         return engine.traffic().overhead();
@@ -268,10 +335,10 @@ TEST(ProtectionEngine, TrafficOrderingAcrossSchemes)
         Cycles t = 0;
         for (int i = 0; i < 8; ++i) {
             t = engine.access({static_cast<Addr>(i) << 20, 512 << 10,
+                               static_cast<Vn>(i + 1),
                                i % 2 ? AccessType::Write
                                      : AccessType::Read,
-                               DataClass::Generic,
-                               static_cast<Vn>(i + 1), 0},
+                               DataClass::Generic, 0},
                               t);
         }
         engine.flush(t);
@@ -295,13 +362,13 @@ TEST(ProtectionEngine, CryptoLatencyOnReadPath)
     ProtectionConfig cfg = smallConfig(Scheme::MGX);
     ProtectionEngine e1(cfg, &d1);
     Cycles read_done = e1.access(
-        {0, 512, AccessType::Read, DataClass::Generic, 1, 0}, 0);
+        {0, 512, 1, AccessType::Read, DataClass::Generic, 0}, 0);
 
     dram::DramSystem d2(dram::ddr4_2400(1));
     cfg.cryptoLatency = 0;
     ProtectionEngine e2(cfg, &d2);
     Cycles read_nolat = e2.access(
-        {0, 512, AccessType::Read, DataClass::Generic, 1, 0}, 0);
+        {0, 512, 1, AccessType::Read, DataClass::Generic, 0}, 0);
     EXPECT_EQ(read_done, read_nolat + 40);
 }
 
@@ -309,10 +376,10 @@ TEST(ProtectionEngine, MetaCacheAbsorbsRepeatedWalks)
 {
     dram::DramSystem dram(dram::ddr4_2400(1));
     ProtectionEngine engine(smallConfig(Scheme::BP), &dram);
-    engine.access({0, 512, AccessType::Read, DataClass::Generic, 1, 0},
+    engine.access({0, 512, 1, AccessType::Read, DataClass::Generic, 0},
                   0);
     const u64 tree_first = engine.traffic().treeBytes;
-    engine.access({512, 512, AccessType::Read, DataClass::Generic, 1, 0},
+    engine.access({512, 512, 1, AccessType::Read, DataClass::Generic, 0},
                   0);
     // The second access's tree walk hits cached ancestors immediately.
     EXPECT_LT(engine.traffic().treeBytes - tree_first, tree_first + 1);

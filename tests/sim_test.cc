@@ -26,9 +26,8 @@ syntheticTrace(u64 phases, Cycles compute, u64 bytes)
         Phase p;
         p.name = "p" + std::to_string(i);
         p.computeCycles = compute;
-        p.accesses.push_back({i * (64ull << 20), bytes,
-                              AccessType::Read, DataClass::Generic,
-                              1, 0});
+        p.accesses.push_back({i * (64ull << 20), bytes, 1, AccessType::Read,
+                              DataClass::Generic, 0});
         trace.push_back(std::move(p));
     }
     return trace;
