@@ -17,7 +17,15 @@
  *   bench_perf_throughput [--set micro|full] [--min-seconds S]
  *                         [--json FILE] [--quiet]
  *
- * JSON schema "mgx-bench-v1": {schema, bench, unit, results:[
+ * Besides the replay cells, the bench times a fixed AES-128 loop and
+ * reports it as a calibration score: lines-per-second divided by the
+ * score is roughly hardware-independent, so CI can normalize a fresh
+ * measurement to the committed baseline's runner before applying its
+ * regression gate.
+ *
+ * JSON schema "mgx-bench-v1": {schema, bench, unit,
+ *   calibration: {aesBlocksPerSecond, blocks, wallSeconds, checksum},
+ *   results:[
  *   {workload, platform, scheme, linesPerSecond, wallSeconds,
  *    replays, linesPerReplay, cyclesPerReplay, traceBytes,
  *    tracePhases}]}
@@ -30,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "crypto/aes128.h"
 #include "sim/experiment.h"
 #include "sim/report.h"
 #include "sim/workload_registry.h"
@@ -57,6 +66,44 @@ double
 secondsSince(Clock::time_point t0)
 {
     return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/** Hardware calibration score (see file header). */
+struct Calibration
+{
+    double aesBlocksPerSecond = 0.0;
+    double wallSeconds = 0.0;
+    u64 blocks = 0;
+    u8 checksum = 0; ///< fold of the final block (pins determinism)
+};
+
+/**
+ * Time a fixed, dependency-chained AES-128 encryption loop. The work
+ * is deterministic and compute-bound with a tiny footprint, so the
+ * score tracks the single-core speed of the machine rather than the
+ * simulator — the denominator CI uses to compare runners.
+ */
+Calibration
+measureCalibration()
+{
+    Calibration cal;
+    cal.blocks = 1u << 20;
+    const crypto::Key key = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae,
+                             0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88,
+                             0x09, 0xcf, 0x4f, 0x3c};
+    const crypto::Aes128 aes(key);
+    crypto::Block block = {};
+    const auto t0 = Clock::now();
+    // Each encryption consumes the previous ciphertext, so the chain
+    // cannot be reordered or elided.
+    for (u64 i = 0; i < cal.blocks; ++i)
+        block = aes.encryptBlock(block);
+    cal.wallSeconds = secondsSince(t0);
+    for (u8 b : block)
+        cal.checksum ^= b;
+    cal.aesBlocksPerSecond =
+        static_cast<double>(cal.blocks) / cal.wallSeconds;
+    return cal;
 }
 
 /** Replay @p trace under @p scheme until the time budget is spent. */
@@ -110,11 +157,20 @@ measureCell(const std::string &workload, const sim::Platform &platform,
 }
 
 void
-writeJson(const std::vector<CellResult> &cells, std::ostream &out)
+writeJson(const std::vector<CellResult> &cells, const Calibration &cal,
+          std::ostream &out)
 {
+    char cnum[64];
+    std::snprintf(cnum, sizeof cnum, "%.6g", cal.aesBlocksPerSecond);
     out << "{\n  \"schema\": \"mgx-bench-v1\",\n"
         << "  \"bench\": \"perf_throughput\",\n"
         << "  \"unit\": \"simulated_lines_per_second\",\n"
+        << "  \"calibration\": {\"aesBlocksPerSecond\": " << cnum
+        << ", \"blocks\": " << cal.blocks;
+    std::snprintf(cnum, sizeof cnum, "%.6g", cal.wallSeconds);
+    out << ", \"wallSeconds\": " << cnum
+        << ", \"checksum\": " << static_cast<unsigned>(cal.checksum)
+        << "},\n"
         << "  \"results\": [";
     bool first = true;
     for (const auto &c : cells) {
@@ -143,12 +199,47 @@ usage(std::FILE *out)
         out,
         "usage: bench_perf_throughput [options]\n"
         "  --set micro|full    workload set (default micro)\n"
-        "                      micro: the tiled-MatMul replay\n"
+        "                      micro: the tiled-MatMul replay under\n"
+        "                             NP/MGX/BP, plus genome and video\n"
+        "                             BP cells (the throughput floor)\n"
         "                      full:  + dnn/resnet50 + graph/pokec\n"
         "  --min-seconds S     time budget per cell (default 0.5)\n"
         "  --json FILE         write the mgx-bench-v1 artifact\n"
         "  --quiet             suppress the table\n");
     return out == stdout ? 0 : 2;
+}
+
+/** One bench workload and the schemes it replays under. */
+struct WorkloadSpec
+{
+    const char *workload;
+    std::vector<protection::Scheme> schemes;
+};
+
+/**
+ * The micro set covers every BP cell the perf gate watches: the
+ * MatMul replay under all three headline schemes, plus one genome and
+ * one video cell pinned to BP — the throughput floor — so the floor
+ * is tracked across domains without full-set runtimes. The full set
+ * adds the DNN and graph workloads, completing all five domains.
+ */
+std::vector<WorkloadSpec>
+workloadSet(const std::string &set)
+{
+    using protection::Scheme;
+    const std::vector<Scheme> all = {Scheme::NP, Scheme::MGX,
+                                     Scheme::BP};
+    const std::vector<Scheme> bp = {Scheme::BP};
+    std::vector<WorkloadSpec> specs = {
+        {"core/matmul?m=256&n=256&k=256", all},
+        {"genome/chr1PacBio?reads=2", bp},
+        {"video/h264?frames=2", bp},
+    };
+    if (set == "full") {
+        specs.push_back({"dnn/resnet50?task=inference", all});
+        specs.push_back({"graph/pokec/pagerank", all});
+    }
+    return specs;
 }
 
 } // namespace
@@ -190,31 +281,31 @@ main(int argc, char **argv)
         }
     }
 
-    std::vector<std::string> workloads = {"core/matmul?m=256&n=256&k=256"};
-    if (set == "full") {
-        workloads.push_back("dnn/resnet50?task=inference");
-        workloads.push_back("graph/pokec/pagerank");
-    } else if (set != "micro") {
+    if (set != "micro" && set != "full") {
         std::fprintf(stderr,
                      "bench_perf_throughput: unknown set '%s'\n",
                      set.c_str());
         return usage(stderr);
     }
 
-    const std::vector<protection::Scheme> schemes = {
-        protection::Scheme::NP, protection::Scheme::MGX,
-        protection::Scheme::BP};
+    const Calibration cal = measureCalibration();
+    if (!quiet)
+        std::printf("calibration: %.4g AES blocks/sec "
+                    "(checksum %u)\n\n",
+                    cal.aesBlocksPerSecond,
+                    static_cast<unsigned>(cal.checksum));
 
     std::vector<CellResult> cells;
     if (!quiet)
         std::printf("%-34s %-8s %-8s %14s %9s %8s\n", "workload",
                     "platform", "scheme", "lines/sec", "replays",
                     "wall(s)");
-    for (const auto &w : workloads) {
+    for (const WorkloadSpec &spec : workloadSet(set)) {
+        const std::string w = spec.workload;
         const sim::Platform platform = sim::defaultPlatform(w);
         const core::Trace trace =
             sim::makeKernel(w, platform)->generate();
-        for (protection::Scheme s : schemes) {
+        for (protection::Scheme s : spec.schemes) {
             cells.push_back(
                 measureCell(w, platform, trace, s, min_seconds));
             const CellResult &c = cells.back();
@@ -236,7 +327,7 @@ main(int argc, char **argv)
                          json_path.c_str());
             return 1;
         }
-        writeJson(cells, out);
+        writeJson(cells, cal, out);
         if (!quiet)
             std::printf("\nwrote %zu results to %s\n", cells.size(),
                         json_path.c_str());

@@ -40,6 +40,9 @@ usage(std::FILE *out)
         "  --schemes S[,...]      NP, MGX, MGX_VN, MGX_MAC, BP\n"
         "                         (default: all five)\n"
         "  --threads N            worker threads (default: all cores)\n"
+        "  --trace-cache DIR      reuse generated traces across runs:\n"
+        "                         serialize each trace into DIR and\n"
+        "                         deserialize instead of regenerating\n"
         "  --json FILE            write the mgx-resultset-v1 artifact\n"
         "  --quiet                suppress the table on stdout\n"
         "  --help                 this message\n"
@@ -91,6 +94,7 @@ main(int argc, char **argv)
     std::vector<sim::Platform> platforms;
     std::vector<protection::Scheme> schemes;
     std::string json_path;
+    std::string trace_cache_dir;
     unsigned threads = 0;
     bool quiet = false;
 
@@ -145,6 +149,8 @@ main(int argc, char **argv)
             }
         } else if (arg == "--json") {
             json_path = value();
+        } else if (arg == "--trace-cache") {
+            trace_cache_dir = value();
         } else if (arg == "--quiet" || arg == "-q") {
             quiet = true;
         } else {
@@ -165,8 +171,16 @@ main(int argc, char **argv)
         experiment.platforms(platforms);
     if (!schemes.empty())
         experiment.schemes(schemes);
+    if (!trace_cache_dir.empty())
+        experiment.traceCacheDir(trace_cache_dir);
 
     sim::ResultSet rs = experiment.run();
+
+    if (!trace_cache_dir.empty())
+        std::printf("trace-cache: %llu hit(s), %llu miss(es)\n",
+                    static_cast<unsigned long long>(rs.traceCacheHits()),
+                    static_cast<unsigned long long>(
+                        rs.traceCacheMisses()));
 
     if (!quiet)
         sim::printTable(rs);

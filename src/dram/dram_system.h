@@ -11,6 +11,7 @@
 #define MGX_DRAM_DRAM_SYSTEM_H
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "address_map.h"
@@ -52,6 +53,18 @@ class DramSystem
      * @return completion cycle of the last burst.
      */
     Cycles accessRange(Addr addr, u64 bytes, bool is_write, Cycles arrival);
+
+    /**
+     * Serve a batch of block requests in order — the replay path for
+     * deferred metadata queues. Equivalent to calling access() per
+     * request and taking the max completion (the per-channel command
+     * streams are identical, so every cycle and statistic matches bit
+     * for bit); the win is that runs of same-line and
+     * consecutive-line requests — the shape metadata miss streams
+     * have — decode incrementally instead of from scratch.
+     * @return max completion cycle across the batch; 0 when empty
+     */
+    Cycles accessBatch(std::span<const Request> reqs);
 
     /** Completion time of the latest burst across all channels. */
     Cycles lastCompletion() const;

@@ -64,8 +64,12 @@ GenomeKernel::generate()
             std::min<u64>(config_.arrays, workload_.numReads - batch);
         for (u64 t = 0; t < tiles_per_read; ++t) {
             Phase p;
-            p.name = "b" + std::to_string(batch / config_.arrays) +
-                     ".w" + std::to_string(t);
+            // Built in place: const char* + rvalue-string trips GCC
+            // 12's -Wrestrict false positive (PR105651) under -O2.
+            p.name = "b";
+            p.name += std::to_string(batch / config_.arrays);
+            p.name += ".w";
+            p.name += std::to_string(t);
             p.computeCycles = config_.tileComputeCycles();
             for (u64 r = 0; r < reads; ++r) {
                 // Reference chunk: sequential within the read's chain.

@@ -35,7 +35,7 @@ MetaCache::MetaCache(u32 capacity_bytes, u32 ways, StatGroup *stats)
 }
 
 CacheResult
-MetaCache::access(Addr addr, bool dirty, MetaClass cls)
+MetaCache::access(Addr addr, bool dirty, MetaClass cls, Memo *memo)
 {
     const Addr line_addr = alignDown(addr, kLineBytes);
     const u32 set =
@@ -43,36 +43,47 @@ MetaCache::access(Addr addr, bool dirty, MetaClass cls)
     Line *base = &lines_[static_cast<std::size_t>(set) * ways_];
     ++tick_;
 
-    // Hit path.
+    // One pass finds the hit or the replacement victim — the LRU way,
+    // preferring the first invalid one. The fused scan picks the same
+    // victim a separate scan would: once an invalid way is seen the
+    // victim is pinned there, exactly where a dedicated loop would
+    // have stopped.
+    Line *victim = base;
+    bool invalid_found = false;
     for (u32 w = 0; w < ways_; ++w) {
         Line &line = base[w];
         if (line.valid && line.tag == line_addr) {
             line.lruTick = tick_;
             line.dirty |= dirty;
             statHits_.add();
+            if (memo != nullptr) {
+                memo->line_ = &line;
+                memo->addr_ = line_addr;
+                memo->generation_ = generation_;
+            }
             return {true, false, 0, MetaClass::Vn};
         }
-    }
-
-    // Miss: pick the LRU way (preferring an invalid one).
-    Line *victim = base;
-    for (u32 w = 0; w < ways_; ++w) {
-        Line &line = base[w];
+        if (invalid_found)
+            continue;
         if (!line.valid) {
             victim = &line;
-            break;
-        }
-        if (line.lruTick < victim->lruTick)
+            invalid_found = true;
+        } else if (line.lruTick < victim->lruTick) {
             victim = &line;
+        }
     }
 
     CacheResult result;
     result.hit = false;
-    if (victim->valid && victim->dirty) {
-        result.writeback = true;
-        result.victimAddr = victim->tag;
-        result.victimClass = victim->cls;
-        statWritebacks_.add();
+    if (victim->valid) {
+        // Replacing a resident line: any memo armed for it is stale.
+        ++generation_;
+        if (victim->dirty) {
+            result.writeback = true;
+            result.victimAddr = victim->tag;
+            result.victimClass = victim->cls;
+            statWritebacks_.add();
+        }
     }
     victim->valid = true;
     victim->dirty = dirty;
@@ -80,20 +91,25 @@ MetaCache::access(Addr addr, bool dirty, MetaClass cls)
     victim->tag = line_addr;
     victim->lruTick = tick_;
     statMisses_.add();
+    if (memo != nullptr) {
+        memo->line_ = victim;
+        memo->addr_ = line_addr;
+        memo->generation_ = generation_;
+    }
     return result;
 }
 
-std::vector<MetaCache::FlushedLine>
-MetaCache::flush()
+void
+MetaCache::flush(std::vector<FlushedLine> &out)
 {
-    std::vector<FlushedLine> dirty_lines;
+    out.clear();
     for (auto &line : lines_) {
         if (line.valid && line.dirty)
-            dirty_lines.push_back({line.tag, line.cls});
+            out.push_back({line.tag, line.cls});
         line.valid = false;
         line.dirty = false;
     }
-    return dirty_lines;
+    ++generation_;
 }
 
 void
@@ -103,6 +119,7 @@ MetaCache::reset()
         line.valid = false;
         line.dirty = false;
     }
+    ++generation_;
 }
 
 } // namespace mgx::protection

@@ -7,6 +7,16 @@
  * (VN, MAC, or integrity-tree), so dirty-victim writebacks — mid-run
  * evictions and the end-of-run flush alike — can be attributed to the
  * correct traffic category by the caller.
+ *
+ * Hot-path note: consecutive data blocks usually map to the *same*
+ * VN/MAC/tree line, so the baseline engine re-probes the same set for
+ * the same tag millions of times. The Memo/touch() API short-circuits
+ * that case: a memo remembers the line an access() resolved to, and
+ * touch() replays exactly the hit path (LRU update, dirty
+ * accumulation, hit counter) without the set-associative probe. A memo
+ * self-invalidates when its line is evicted — eviction bumps
+ * generation(), and a stale memo fails the residency re-check — so
+ * the shortcut is bitwise-identical to always probing.
  */
 
 #ifndef MGX_PROTECTION_META_CACHE_H
@@ -37,6 +47,9 @@ struct CacheResult
 /** Set-associative write-back metadata cache. */
 class MetaCache
 {
+  private:
+    struct Line; // resident-line state, defined below
+
   public:
     static constexpr u32 kLineBytes = 64;
 
@@ -48,14 +61,72 @@ class MetaCache
     MetaCache(u32 capacity_bytes, u32 ways, StatGroup *stats = nullptr);
 
     /**
+     * Probe-skipping handle to the line the last access() of one
+     * request stream resolved to. Default-constructed memos never
+     * match; passing one to access() arms it. Holders must not
+     * outlive the cache.
+     */
+    class Memo
+    {
+      public:
+        Memo() = default;
+
+      private:
+        friend class MetaCache;
+        Line *line_ = nullptr;
+        Addr addr_ = ~static_cast<Addr>(0); ///< armed line address
+        u64 generation_ = 0; ///< eviction tick at arming/validation
+    };
+
+    /**
      * Access line containing @p addr. On a miss the line is allocated
      * (write-allocate), possibly evicting a dirty victim that the
      * caller must write back to DRAM.
      * @param dirty mark the line dirty (a metadata update)
      * @param cls   metadata class of the line being accessed
+     * @param memo  when non-null, armed with the accessed line so a
+     *              follow-up touch() of the same line skips the probe
      */
     CacheResult access(Addr addr, bool dirty,
-                       MetaClass cls = MetaClass::Vn);
+                       MetaClass cls = MetaClass::Vn,
+                       Memo *memo = nullptr);
+
+    /**
+     * Hit-path shortcut: when @p addr is @p memo's armed line and that
+     * line is still resident, perform exactly what access() would do
+     * on this (guaranteed) hit — LRU touch, dirty accumulation, hit
+     * counter — without the set-associative probe, and return true.
+     * Returns false with no state change otherwise; the caller then
+     * falls back to access(). @p addr must be line-aligned, as every
+     * MetadataLayout address is.
+     */
+    bool
+    touch(Memo &memo, Addr addr, bool dirty)
+    {
+        if (addr != memo.addr_)
+            return false;
+        if (memo.generation_ != generation_) {
+            // An eviction (or flush) happened since the memo was last
+            // validated; it may have claimed this line. Re-check
+            // residency and re-validate against the new generation.
+            if (!memo.line_->valid || memo.line_->tag != addr)
+                return false;
+            memo.generation_ = generation_;
+        }
+        ++tick_;
+        memo.line_->lruTick = tick_;
+        memo.line_->dirty |= dirty;
+        statHits_.add();
+        return true;
+    }
+
+    /**
+     * Eviction tick: bumped whenever a resident line is replaced or
+     * the cache is flushed/reset — i.e. whenever an armed memo may
+     * have lost its line. Unchanged generation proves every resident
+     * line is where it was.
+     */
+    u64 generation() const { return generation_; }
 
     /** A dirty line surrendered by flush(). */
     struct FlushedLine
@@ -64,13 +135,27 @@ class MetaCache
         MetaClass cls = MetaClass::Vn;
     };
 
-    /** Flush all dirty lines; returns their addresses and classes. */
-    std::vector<FlushedLine> flush();
+    /**
+     * Flush all dirty lines into @p out (cleared first), invalidating
+     * the whole cache. The caller owns @p out, so steady-state
+     * flushes reuse its capacity instead of allocating a fresh
+     * vector per call.
+     */
+    void flush(std::vector<FlushedLine> &out);
 
     /** Invalidate everything without writeback (new session). */
     void reset();
 
     u32 numSets() const { return numSets_; }
+
+    /** Cumulative hit count (0 when constructed without stats). */
+    u64 hits() const { return statHits_.value(); }
+
+    /** Cumulative miss count (0 when constructed without stats). */
+    u64 misses() const { return statMisses_.value(); }
+
+    /** Cumulative dirty-eviction count (0 without stats). */
+    u64 writebacks() const { return statWritebacks_.value(); }
 
   private:
     struct Line
@@ -85,6 +170,7 @@ class MetaCache
     u32 ways_;
     u32 numSets_;
     u64 tick_ = 0;
+    u64 generation_ = 0;
     std::vector<Line> lines_; ///< numSets_ x ways_, row-major
 
     StatGroup::Counter statHits_;

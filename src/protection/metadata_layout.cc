@@ -68,6 +68,23 @@ MetadataLayout::vnLineAddr(Addr data_addr) const
     return alignDown(vnBase_ + vn_off, kLineBytes);
 }
 
+MetadataLayout::BaselineWalker
+MetadataLayout::baselineWalker(Addr data_addr) const
+{
+    BaselineWalker w;
+    w.vnBase_ = vnBase_;
+    w.macBase_ = macBase_;
+    w.treeBase1_ = treeBase_.empty() ? 0 : treeBase_[0];
+    // Offsets replicate the point queries exactly: both regions index
+    // by baseline-block number, scaled by the per-block entry size.
+    w.vnOff_ = (data_addr >> baselineShift_) << vnBytesShift_;
+    w.macOff_ = (data_addr >> baselineShift_) << macBytesShift_;
+    w.vnStride_ = cfg_.vnBytes;
+    w.macStride_ = cfg_.macBytes;
+    w.arityShift_ = arityShift_;
+    return w;
+}
+
 Addr
 MetadataLayout::treeNodeAddr(u32 level, Addr data_addr) const
 {

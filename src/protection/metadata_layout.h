@@ -19,6 +19,7 @@
 
 #include <vector>
 
+#include "common/bitops.h"
 #include "common/types.h"
 #include "scheme.h"
 
@@ -48,6 +49,65 @@ class MetadataLayout
      * lines) on the path of baseline block @p data_addr.
      */
     Addr treeNodeAddr(u32 level, Addr data_addr) const;
+
+    /**
+     * Incremental metadata-address stream over consecutive baseline
+     * blocks: the VN line, level-1 tree node, and
+     * baseline-granularity MAC line of each block in a range, derived
+     * with two adds per step instead of the per-block shift chains of
+     * the point queries. Produced by baselineWalker(); next()
+     * advances exactly one baseline block and matches vnLineAddr(),
+     * treeNodeAddr(1, .) and macLineAddr(., baselineGranularity) bit
+     * for bit (pinned by bp_pipeline_test.cc).
+     */
+    class BaselineWalker
+    {
+      public:
+        /** VN line of the current block (== vnLineAddr). */
+        Addr
+        vnLine() const
+        {
+            return alignDown(vnBase_ + vnOff_, kLineBytes);
+        }
+
+        /** Level-1 tree node of the current block (== treeNodeAddr(1,.)).
+         *  Only meaningful when the layout has at least one level. */
+        Addr
+        treeNode1() const
+        {
+            return treeBase1_ +
+                   ((vnOff_ / kLineBytes) >> arityShift_) * kLineBytes;
+        }
+
+        /** Baseline-granularity MAC line (== macLineAddr(., gran)). */
+        Addr
+        macLine() const
+        {
+            return alignDown(macBase_ + macOff_, kLineBytes);
+        }
+
+        /** Advance to the next consecutive baseline block. */
+        void
+        next()
+        {
+            vnOff_ += vnStride_;
+            macOff_ += macStride_;
+        }
+
+      private:
+        friend class MetadataLayout;
+        Addr vnBase_ = 0;
+        Addr macBase_ = 0;
+        Addr treeBase1_ = 0;
+        u64 vnOff_ = 0;     ///< byte offset into the VN region
+        u64 macOff_ = 0;    ///< byte offset into the MAC region
+        u32 vnStride_ = 0;  ///< VN bytes per baseline block
+        u32 macStride_ = 0; ///< MAC bytes per baseline block
+        u32 arityShift_ = 0;
+    };
+
+    /** Start a metadata walk at the baseline block of @p data_addr. */
+    BaselineWalker baselineWalker(Addr data_addr) const;
 
     /** Total DRAM bytes occupied by metadata for this configuration. */
     u64 metadataBytes() const { return totalMetadataBytes_; }

@@ -84,6 +84,9 @@ class ProtectionEngine
     /** Cache and engine statistics. */
     const StatGroup &stats() const { return stats_; }
 
+    /** The shared metadata cache (hit/miss/writeback counters). */
+    const MetaCache &metaCache() const { return cache_; }
+
     /** Logical accesses served (the kernel-facing request count). */
     u64 logicalAccesses() const { return statLogicalAccesses_.value(); }
 
@@ -105,13 +108,6 @@ class ProtectionEngine
     /** The traffic counter a @p cls metadata line is charged to. */
     u64 &trafficFor(MetaClass cls);
 
-    /** One deferred metadata DRAM request (see baselinePath). */
-    struct PendingReq
-    {
-        Addr addr;
-        bool write;
-    };
-
     ProtectionConfig cfg_;
     MetadataLayout layout_;
     dram::DramSystem *dram_;
@@ -120,9 +116,19 @@ class ProtectionEngine
     TrafficBreakdown traffic_;
     StatGroup::Counter statLogicalAccesses_;
     // Scratch queues reused across baselinePath calls so the per-access
-    // hot path never allocates once their high-water mark is reached.
-    std::vector<PendingReq> metaReqs_;
-    std::vector<PendingReq> macReqs_;
+    // hot path never allocates once their high-water mark is reached;
+    // replayed in push order through DramSystem::accessBatch.
+    std::vector<dram::Request> metaReqs_;
+    std::vector<dram::Request> macReqs_;
+    // Same-line coalescing memos: consecutive baseline blocks usually
+    // share their VN/MAC line and level-1 tree node, so the common
+    // case touches the memoized line instead of re-probing the set
+    // (see MetaCache::touch). One memo per metadata request stream.
+    MetaCache::Memo vnMemo_;
+    MetaCache::Memo macMemo_;
+    MetaCache::Memo treeMemo_;
+    // End-of-run flush scratch (same reuse pattern as the queues).
+    std::vector<MetaCache::FlushedLine> flushScratch_;
 };
 
 } // namespace mgx::protection

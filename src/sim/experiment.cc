@@ -2,14 +2,59 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
+#include <filesystem>
 #include <map>
 #include <thread>
 
 #include "common/log.h"
+#include "trace_io.h"
 #include "workload_registry.h"
 
 namespace mgx::sim {
 namespace {
+
+/**
+ * Trace-generation version, folded into every cache file name so a
+ * directory kept across code changes never serves stale traces. Bump
+ * it whenever kernels generate different traces for the same
+ * workload name or the trace_io format changes — equal keys only
+ * guarantee equal traces within one generator version.
+ */
+constexpr unsigned kTraceCacheVersion = 1;
+
+/**
+ * File name a cached trace is stored under: the cache key with
+ * filesystem-hostile characters flattened, plus an FNV-1a hash of the
+ * unflattened key and generator version so distinct keys — or the
+ * same key across trace-generation changes — never collide.
+ */
+std::string
+traceCacheFileName(const std::string &key)
+{
+    u64 h = 14695981039346656037ull;
+    const auto fold = [&h](char c) {
+        h ^= static_cast<u8>(c);
+        h *= 1099511628211ull;
+    };
+    fold(static_cast<char>('0' + kTraceCacheVersion));
+    fold('|');
+    for (char c : key)
+        fold(c);
+    std::string name;
+    name.reserve(key.size() + 24);
+    for (char c : key) {
+        const bool keep = (c >= 'a' && c <= 'z') ||
+                          (c >= 'A' && c <= 'Z') ||
+                          (c >= '0' && c <= '9') || c == '-' ||
+                          c == '.' || c == '=';
+        name += keep ? c : '_';
+    }
+    char hash[32];
+    std::snprintf(hash, sizeof hash, "-v%u-%016llx", kTraceCacheVersion,
+                  static_cast<unsigned long long>(h));
+    return name + hash + ".trace";
+}
 
 /**
  * Run body(0..n-1) on up to @p threads workers. Work is claimed from
@@ -196,6 +241,13 @@ Experiment::threads(u32 n)
     return *this;
 }
 
+Experiment &
+Experiment::traceCacheDir(const std::string &dir)
+{
+    traceCacheDir_ = dir;
+    return *this;
+}
+
 ResultSet
 Experiment::run() const
 {
@@ -217,6 +269,7 @@ Experiment::run() const
     {
         std::string name;     ///< registry name (generated jobs)
         Platform platform;    ///< platform it is generated for
+        std::string cacheKey; ///< traceCacheKey (generated jobs)
         const core::Trace *explicitTrace = nullptr;
     };
 
@@ -242,6 +295,8 @@ Experiment::run() const
                 jobByKey.try_emplace(key, jobs.size());
             if (inserted)
                 jobs.push_back({entry.label, platform,
+                                entry.isExplicitTrace ? std::string{}
+                                                      : key,
                                 entry.isExplicitTrace
                                     ? &entry.explicitTrace
                                     : nullptr});
@@ -259,12 +314,40 @@ Experiment::run() const
 
     // Phase 1: generate each distinct trace once, in parallel. A
     // fresh kernel per job keeps generation deterministic regardless
-    // of scheduling.
+    // of scheduling. With a trace-cache directory set, a key that was
+    // serialized by an earlier run (any process) deserializes instead
+    // of regenerating; distinct jobs write distinct files, so the
+    // parallel writers never collide.
+    if (!traceCacheDir_.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(traceCacheDir_, ec);
+        if (ec)
+            fatal("cannot create trace-cache dir '%s': %s",
+                  traceCacheDir_.c_str(), ec.message().c_str());
+    }
     std::vector<core::Trace> traces(jobs.size());
+    std::atomic<u64> cache_hits{0};
+    std::atomic<u64> cache_misses{0};
     parallelFor(jobs.size(), threads_, [&](std::size_t i) {
-        if (jobs[i].explicitTrace == nullptr)
+        if (jobs[i].explicitTrace != nullptr)
+            return;
+        if (traceCacheDir_.empty()) {
             traces[i] =
                 makeKernel(jobs[i].name, jobs[i].platform)->generate();
+            return;
+        }
+        const std::filesystem::path file =
+            std::filesystem::path(traceCacheDir_) /
+            traceCacheFileName(jobs[i].cacheKey);
+        if (std::filesystem::exists(file)) {
+            traces[i] = readTraceFile(file.string());
+            cache_hits.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+        traces[i] =
+            makeKernel(jobs[i].name, jobs[i].platform)->generate();
+        writeTraceFile(traces[i], file.string());
+        cache_misses.fetch_add(1, std::memory_order_relaxed);
     });
 
     // Phase 2: simulate every cell on fresh per-cell state.
@@ -284,6 +367,7 @@ Experiment::run() const
     });
 
     ResultSet rs;
+    rs.setTraceCacheStats(cache_hits.load(), cache_misses.load());
     for (std::size_t i = 0; i < cells.size(); ++i)
         rs.add({{cells[i].entry->label, cells[i].platform.name,
                  cells[i].scheme},

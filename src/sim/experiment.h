@@ -61,6 +61,18 @@ class ResultSet
     const std::vector<RunRecord> &records() const { return records_; }
     bool empty() const { return records_.empty(); }
 
+    /** Trace-cache outcome of the run (0/0 when caching was off). */
+    u64 traceCacheHits() const { return traceCacheHits_; }
+    u64 traceCacheMisses() const { return traceCacheMisses_; }
+
+    /** Record the trace-cache outcome (set by Experiment::run). */
+    void
+    setTraceCacheStats(u64 hits, u64 misses)
+    {
+        traceCacheHits_ = hits;
+        traceCacheMisses_ = misses;
+    }
+
     /** The cell at @p key, or nullptr if it was never run. */
     const RunResult *find(const std::string &workload,
                           const std::string &platform,
@@ -98,6 +110,8 @@ class ResultSet
 
   private:
     std::vector<RunRecord> records_;
+    u64 traceCacheHits_ = 0;
+    u64 traceCacheMisses_ = 0;
 };
 
 /** Builder for one workload x platform x scheme run grid. */
@@ -135,6 +149,19 @@ class Experiment
     /** Worker threads: 0 = hardware concurrency, 1 = serial. */
     Experiment &threads(u32 n);
 
+    /**
+     * Cache generated traces on disk under @p dir (created if
+     * missing), keyed by traceCacheKey(): a later run — including a
+     * separate process — that needs the same trace deserializes it
+     * instead of re-running the kernel. Equal keys guarantee equal
+     * traces, so a cached cell is bit-identical to a generated one on
+     * every model output (cycles, traffic, access counts); only
+     * RunResult::traceBytes — the in-memory footprint of the trace
+     * container, which depends on how it was built — may differ.
+     * Explicit traces added with trace() are never cached.
+     */
+    Experiment &traceCacheDir(const std::string &dir);
+
     /** Expand the grid, simulate every cell, return the results. */
     ResultSet run() const;
 
@@ -151,6 +178,7 @@ class Experiment
     std::vector<protection::Scheme> schemes_;
     protection::ProtectionConfig config_;
     u32 threads_ = 0;
+    std::string traceCacheDir_;
 };
 
 } // namespace mgx::sim

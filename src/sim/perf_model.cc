@@ -49,6 +49,9 @@ PerfModel::run(const core::Trace &trace)
     result.dramAccesses = engine_->dram().accessCount();
     result.logicalAccesses = engine_->logicalAccesses();
     result.traceBytes = trace.memoryBytes();
+    result.metaCacheHits = engine_->metaCache().hits();
+    result.metaCacheMisses = engine_->metaCache().misses();
+    result.metaCacheWritebacks = engine_->metaCache().writebacks();
     result.seconds =
         static_cast<double>(result.totalCycles) / (ctrlMhz_ * 1e6);
     return result;

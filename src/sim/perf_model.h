@@ -34,6 +34,9 @@ struct RunResult
     u64 dramAccesses = 0;     ///< 64 B DRAM requests actually issued
     u64 logicalAccesses = 0;  ///< kernel-level requests into the engine
     u64 traceBytes = 0;       ///< memory footprint of the replayed trace
+    u64 metaCacheHits = 0;       ///< metadata-cache hits (BP/MGX_MAC)
+    u64 metaCacheMisses = 0;     ///< metadata-cache misses
+    u64 metaCacheWritebacks = 0; ///< dirty metadata evictions
     double seconds = 0.0;
 
     /** Memory traffic relative to the pure data traffic (>= 1). */

@@ -110,6 +110,11 @@ writeJson(const ResultSet &rs, std::ostream &out)
             << ", \"logicalAccesses\": " << r.result.logicalAccesses
             << ", \"traceBytes\": " << r.result.traceBytes
             << ",\n"
+            << "     \"metaCache\": {\"hits\": "
+            << r.result.metaCacheHits
+            << ", \"misses\": " << r.result.metaCacheMisses
+            << ", \"writebacks\": " << r.result.metaCacheWritebacks
+            << "},\n"
             << "     \"traffic\": {\"data\": " << t.dataBytes
             << ", \"expand\": " << t.expandBytes
             << ", \"mac\": " << t.macBytes << ", \"vn\": " << t.vnBytes

@@ -1,8 +1,12 @@
 #include "trace_io.h"
 
+#include <filesystem>
+#include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
+
+#include <unistd.h>
 
 #include "common/log.h"
 
@@ -109,6 +113,49 @@ traceFromString(const std::string &text)
 {
     std::istringstream ss(text);
     return readTrace(ss);
+}
+
+core::Trace
+readTraceFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot read trace file '%s'", path.c_str());
+    return readTrace(in);
+}
+
+void
+writeTraceFile(const core::Trace &trace, const std::string &path)
+{
+    // The pid makes the temporary unique across processes sharing a
+    // cache directory; rename() then publishes the complete file
+    // atomically, so readers see either nothing or a whole trace.
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    // Failed writes must not leave partial temporaries behind in a
+    // shared cache directory, so every error path unlinks tmp first.
+    const auto failCleanup = [&tmp] {
+        std::error_code ignored;
+        std::filesystem::remove(tmp, ignored);
+    };
+    {
+        std::ofstream out(tmp);
+        if (!out)
+            fatal("cannot write trace file '%s'", tmp.c_str());
+        writeTrace(trace, out);
+        if (!out.flush()) {
+            out.close();
+            failCleanup();
+            fatal("short write to trace file '%s'", tmp.c_str());
+        }
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        failCleanup();
+        fatal("cannot publish trace file '%s': %s", path.c_str(),
+              ec.message().c_str());
+    }
 }
 
 } // namespace mgx::sim

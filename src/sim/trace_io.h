@@ -35,6 +35,18 @@ core::Trace readTrace(std::istream &in);
 /** Parse from a string. */
 core::Trace traceFromString(const std::string &text);
 
+/** Read a trace from @p path. Fatal on IO or parse errors. */
+core::Trace readTraceFile(const std::string &path);
+
+/**
+ * Atomically publish @p trace at @p path: serialize into a
+ * process-unique temporary sibling, then rename it into place, so a
+ * concurrent reader (another experiment process sharing a trace
+ * cache) never observes a partially written trace. Fatal on IO
+ * errors.
+ */
+void writeTraceFile(const core::Trace &trace, const std::string &path);
+
 } // namespace mgx::sim
 
 #endif // MGX_SIM_TRACE_IO_H

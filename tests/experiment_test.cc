@@ -236,6 +236,9 @@ TEST(Report, JsonGolden)
     mgx.traffic.expandBytes = 64;
     mgx.traffic.macBytes = 64;
     mgx.dramAccesses = 66;
+    mgx.metaCacheHits = 7;
+    mgx.metaCacheMisses = 3;
+    mgx.metaCacheWritebacks = 1;
 
     ResultSet rs;
     rs.add({{"core/matmul", "Edge", Scheme::NP}, np});
@@ -251,6 +254,8 @@ TEST(Report, JsonGolden)
         "\"memoryCycles\": 800, \"seconds\": 0.5, "
         "\"dramAccesses\": 64, \"logicalAccesses\": 2, "
         "\"traceBytes\": 512,\n"
+        "     \"metaCache\": {\"hits\": 0, \"misses\": 0, "
+        "\"writebacks\": 0},\n"
         "     \"traffic\": {\"data\": 4096, \"expand\": 0, \"mac\": 0, "
         "\"vn\": 0, \"tree\": 0, \"total\": 4096},\n"
         "     \"normalizedTime\": 1, \"trafficIncrease\": 1},\n"
@@ -260,6 +265,8 @@ TEST(Report, JsonGolden)
         "\"memoryCycles\": 800, \"seconds\": 0.5, "
         "\"dramAccesses\": 66, \"logicalAccesses\": 2, "
         "\"traceBytes\": 512,\n"
+        "     \"metaCache\": {\"hits\": 7, \"misses\": 3, "
+        "\"writebacks\": 1},\n"
         "     \"traffic\": {\"data\": 4096, \"expand\": 64, "
         "\"mac\": 64, \"vn\": 0, \"tree\": 0, \"total\": 4224},\n"
         "     \"normalizedTime\": 1.03, \"trafficIncrease\": "

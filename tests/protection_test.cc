@@ -139,7 +139,8 @@ TEST(MetaCache, FlushReturnsAllDirtyLines)
     cache.access(0x0, true);
     cache.access(0x40, true);
     cache.access(0x80, false);
-    auto dirty = cache.flush();
+    std::vector<MetaCache::FlushedLine> dirty;
+    cache.flush(dirty);
     EXPECT_EQ(dirty.size(), 2u);
     // After flush everything misses again.
     EXPECT_FALSE(cache.access(0x0, false).hit);
@@ -172,7 +173,8 @@ TEST(MetaCache, FlushReportsPerLineClasses)
     cache.access(0x0, true, MetaClass::Vn);
     cache.access(0x40, true, MetaClass::Tree);
     cache.access(0x80, true, MetaClass::Mac);
-    auto dirty = cache.flush();
+    std::vector<MetaCache::FlushedLine> dirty;
+    cache.flush(dirty);
     ASSERT_EQ(dirty.size(), 3u);
     u32 vn = 0, mac = 0, tree = 0;
     for (const auto &line : dirty) {

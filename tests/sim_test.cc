@@ -24,7 +24,11 @@ syntheticTrace(u64 phases, Cycles compute, u64 bytes)
     Trace trace;
     for (u64 i = 0; i < phases; ++i) {
         Phase p;
-        p.name = "p" + std::to_string(i);
+        // std::string + rvalue here trips GCC 12's -Wrestrict false
+        // positive (PR105651) once inlining gets aggressive enough;
+        // building the name in place sidesteps it.
+        p.name = "p";
+        p.name += std::to_string(i);
         p.computeCycles = compute;
         p.accesses.push_back({i * (64ull << 20), bytes, 1, AccessType::Read,
                               DataClass::Generic, 0});
