@@ -53,6 +53,7 @@ struct CellResult
     std::string workload;
     std::string platform;
     protection::Scheme scheme = protection::Scheme::NP;
+    bool streamed = false; ///< stream axis: generate+replay per rep
     double linesPerSecond = 0.0;
     double wallSeconds = 0.0;
     u64 replays = 0;
@@ -104,6 +105,63 @@ measureCalibration()
     cal.aesBlocksPerSecond =
         static_cast<double>(cal.blocks) / cal.wallSeconds;
     return cal;
+}
+
+/**
+ * Stream @p workload end to end (fresh kernel, pull-based replay, no
+ * materialized trace) under @p scheme until the budget is spent — the
+ * throughput of the streaming pipeline, generation included.
+ */
+CellResult
+measureStreamedCell(const std::string &workload,
+                    const sim::Platform &platform,
+                    protection::Scheme scheme, double min_seconds)
+{
+    CellResult cell;
+    cell.workload = workload;
+    cell.platform = platform.name;
+    cell.scheme = scheme;
+    cell.streamed = true;
+
+    protection::ProtectionConfig cfg;
+    cfg.scheme = scheme;
+
+    const auto t0 = Clock::now();
+    Cycles cycles = 0;
+    u64 lines = 0;
+    u64 reps = 0;
+    do {
+        dram::DramSystem dram(platform.dram);
+        protection::ProtectionEngine engine(cfg, &dram);
+        sim::PerfModel model(&engine, platform.clockMhz);
+        auto kernel = sim::makeKernel(workload, platform);
+        auto source = kernel->stream();
+        const sim::RunResult r = model.run(*source);
+        if (reps == 0) {
+            cycles = r.totalCycles;
+            lines = dram.accessCount();
+            cell.traceBytes = r.peakPhaseBytes; // stream high-water mark
+            cell.tracePhases = 0; // never materialized
+        } else if (cycles != r.totalCycles ||
+                   lines != dram.accessCount()) {
+            std::fprintf(stderr,
+                         "bench_perf_throughput: streamed rep %llu of "
+                         "%s/%s diverged (nondeterministic stream!)\n",
+                         static_cast<unsigned long long>(reps),
+                         workload.c_str(),
+                         protection::schemeName(scheme));
+            std::exit(1);
+        }
+        ++reps;
+    } while (reps < 2 || secondsSince(t0) < min_seconds);
+
+    cell.wallSeconds = secondsSince(t0);
+    cell.replays = reps;
+    cell.linesPerReplay = lines;
+    cell.cyclesPerReplay = cycles;
+    cell.linesPerSecond = static_cast<double>(lines) *
+                          static_cast<double>(reps) / cell.wallSeconds;
+    return cell;
 }
 
 /** Replay @p trace under @p scheme until the time budget is spent. */
@@ -179,6 +237,7 @@ writeJson(const std::vector<CellResult> &cells, const Calibration &cal,
         out << (first ? "\n" : ",\n") << "    {\"workload\": \""
             << c.workload << "\", \"platform\": \"" << c.platform
             << "\", \"scheme\": \"" << protection::schemeName(c.scheme)
+            << "\", \"mode\": \"" << (c.streamed ? "stream" : "replay")
             << "\",\n     \"linesPerSecond\": " << num;
         std::snprintf(num, sizeof num, "%.6g", c.wallSeconds);
         out << ", \"wallSeconds\": " << num
@@ -200,8 +259,9 @@ usage(std::FILE *out)
         "usage: bench_perf_throughput [options]\n"
         "  --set micro|full    workload set (default micro)\n"
         "                      micro: the tiled-MatMul replay under\n"
-        "                             NP/MGX/BP, plus genome and video\n"
-        "                             BP cells (the throughput floor)\n"
+        "                             NP/MGX/BP (materialized and\n"
+        "                             streamed axes), plus genome and\n"
+        "                             video BP cells (the floor)\n"
         "                      full:  + dnn/resnet50 + graph/pokec\n"
         "  --min-seconds S     time budget per cell (default 0.5)\n"
         "  --json FILE         write the mgx-bench-v1 artifact\n"
@@ -209,11 +269,12 @@ usage(std::FILE *out)
     return out == stdout ? 0 : 2;
 }
 
-/** One bench workload and the schemes it replays under. */
+/** One bench workload and the schemes it replays / streams under. */
 struct WorkloadSpec
 {
     const char *workload;
     std::vector<protection::Scheme> schemes;
+    std::vector<protection::Scheme> streamedSchemes;
 };
 
 /**
@@ -230,14 +291,18 @@ workloadSet(const std::string &set)
     const std::vector<Scheme> all = {Scheme::NP, Scheme::MGX,
                                      Scheme::BP};
     const std::vector<Scheme> bp = {Scheme::BP};
+    const std::vector<Scheme> none;
+    // The MatMul cells also run on the streamed axis (fresh kernel +
+    // pull-based replay per rep): the end-to-end throughput of the
+    // default mgx_run path, tracked next to the pure-replay numbers.
     std::vector<WorkloadSpec> specs = {
-        {"core/matmul?m=256&n=256&k=256", all},
-        {"genome/chr1PacBio?reads=2", bp},
-        {"video/h264?frames=2", bp},
+        {"core/matmul?m=256&n=256&k=256", all, all},
+        {"genome/chr1PacBio?reads=2", bp, none},
+        {"video/h264?frames=2", bp, none},
     };
     if (set == "full") {
-        specs.push_back({"dnn/resnet50?task=inference", all});
-        specs.push_back({"graph/pokec/pagerank", all});
+        specs.push_back({"dnn/resnet50?task=inference", all, none});
+        specs.push_back({"graph/pokec/pagerank", all, all});
     }
     return specs;
 }
@@ -296,10 +361,20 @@ main(int argc, char **argv)
                     static_cast<unsigned>(cal.checksum));
 
     std::vector<CellResult> cells;
+    const auto printCell = [quiet](const CellResult &c) {
+        if (quiet)
+            return;
+        std::printf("%-34s %-8s %-8s %-7s %14.0f %9llu %8.2f\n",
+                    c.workload.c_str(), c.platform.c_str(),
+                    protection::schemeName(c.scheme),
+                    c.streamed ? "stream" : "replay", c.linesPerSecond,
+                    static_cast<unsigned long long>(c.replays),
+                    c.wallSeconds);
+    };
     if (!quiet)
-        std::printf("%-34s %-8s %-8s %14s %9s %8s\n", "workload",
-                    "platform", "scheme", "lines/sec", "replays",
-                    "wall(s)");
+        std::printf("%-34s %-8s %-8s %-7s %14s %9s %8s\n", "workload",
+                    "platform", "scheme", "mode", "lines/sec",
+                    "replays", "wall(s)");
     for (const WorkloadSpec &spec : workloadSet(set)) {
         const std::string w = spec.workload;
         const sim::Platform platform = sim::defaultPlatform(w);
@@ -308,14 +383,12 @@ main(int argc, char **argv)
         for (protection::Scheme s : spec.schemes) {
             cells.push_back(
                 measureCell(w, platform, trace, s, min_seconds));
-            const CellResult &c = cells.back();
-            if (!quiet)
-                std::printf("%-34s %-8s %-8s %14.0f %9llu %8.2f\n",
-                            c.workload.c_str(), c.platform.c_str(),
-                            protection::schemeName(c.scheme),
-                            c.linesPerSecond,
-                            static_cast<unsigned long long>(c.replays),
-                            c.wallSeconds);
+            printCell(cells.back());
+        }
+        for (protection::Scheme s : spec.streamedSchemes) {
+            cells.push_back(
+                measureStreamedCell(w, platform, s, min_seconds));
+            printCell(cells.back());
         }
     }
 

@@ -33,6 +33,8 @@ usage(std::FILE *out)
         out,
         "usage: mgx_run [options]\n"
         "  --list                 print every registry workload and exit\n"
+        "  --list-scaled          print the oversized streaming-only\n"
+        "                         workload variants and exit\n"
         "  --workload NAME[,...]  add workloads (repeatable); see --list\n"
         "  --all                  run every registry workload\n"
         "  --platforms P[,...]    cloud, edge, graph, genome\n"
@@ -42,7 +44,17 @@ usage(std::FILE *out)
         "  --threads N            worker threads (default: all cores)\n"
         "  --trace-cache DIR      reuse generated traces across runs:\n"
         "                         serialize each trace into DIR and\n"
-        "                         deserialize instead of regenerating\n"
+        "                         replay from it instead of regenerating\n"
+        "  --trace-cache-max-bytes N\n"
+        "                         LRU size cap for the trace cache:\n"
+        "                         after the run, evict oldest-mtime\n"
+        "                         traces until DIR is back under N\n"
+        "  --materialize          build each trace in memory before\n"
+        "                         replaying (the pre-streaming path;\n"
+        "                         O(workload) memory). Default is the\n"
+        "                         streaming pipeline: phases are pulled\n"
+        "                         off the kernel or cache file and\n"
+        "                         memory stays bounded by one phase\n"
         "  --json FILE            write the mgx-resultset-v1 artifact\n"
         "  --quiet                suppress the table on stdout\n"
         "  --help                 this message\n"
@@ -95,8 +107,10 @@ main(int argc, char **argv)
     std::vector<protection::Scheme> schemes;
     std::string json_path;
     std::string trace_cache_dir;
+    unsigned long long trace_cache_max_bytes = 0;
     unsigned threads = 0;
     bool quiet = false;
+    bool materialize = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -112,6 +126,11 @@ main(int argc, char **argv)
             return usage(stdout);
         if (arg == "--list") {
             for (const auto &name : sim::listWorkloads())
+                std::printf("%s\n", name.c_str());
+            return 0;
+        }
+        if (arg == "--list-scaled") {
+            for (const auto &name : sim::listScaledWorkloads())
                 std::printf("%s\n", name.c_str());
             return 0;
         }
@@ -151,6 +170,19 @@ main(int argc, char **argv)
             json_path = value();
         } else if (arg == "--trace-cache") {
             trace_cache_dir = value();
+        } else if (arg == "--trace-cache-max-bytes") {
+            const char *v = value();
+            char *end = nullptr;
+            trace_cache_max_bytes = std::strtoull(v, &end, 10);
+            if (end == v || *end != '\0') {
+                std::fprintf(stderr,
+                             "mgx_run: --trace-cache-max-bytes needs "
+                             "a byte count, got '%s'\n",
+                             v);
+                return usage(stderr);
+            }
+        } else if (arg == "--materialize") {
+            materialize = true;
         } else if (arg == "--quiet" || arg == "-q") {
             quiet = true;
         } else {
@@ -165,14 +197,24 @@ main(int argc, char **argv)
         return usage(stderr);
     }
 
+    if (trace_cache_max_bytes != 0 && trace_cache_dir.empty()) {
+        std::fprintf(stderr, "mgx_run: --trace-cache-max-bytes needs "
+                             "--trace-cache\n");
+        return usage(stderr);
+    }
+
     sim::Experiment experiment;
-    experiment.workloads(workloads).threads(threads);
+    experiment.workloads(workloads)
+        .threads(threads)
+        .streaming(!materialize);
     if (!platforms.empty())
         experiment.platforms(platforms);
     if (!schemes.empty())
         experiment.schemes(schemes);
     if (!trace_cache_dir.empty())
         experiment.traceCacheDir(trace_cache_dir);
+    if (trace_cache_max_bytes != 0)
+        experiment.traceCacheMaxBytes(trace_cache_max_bytes);
 
     sim::ResultSet rs = experiment.run();
 

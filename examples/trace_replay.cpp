@@ -4,6 +4,12 @@
  * re-simulate it later — the workflow for archiving experiment
  * artifacts or inspecting a schedule with standard tools.
  *
+ * Both directions stream. `dump` serializes phases as the kernel
+ * emits them (TraceFileWriteSink), and `run` replays the file through
+ * a pull-based FilePhaseSource once per scheme — so neither command
+ * ever materializes the trace, and full-size inputs (the
+ * `mgx_run --list-scaled` variants) replay in bounded memory.
+ *
  * Usage:
  *   trace_replay dump <workload> <file>  # any registry name; bare DNN
  *                                        # model names still work
@@ -12,15 +18,18 @@
 
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <string>
+#include <vector>
 
 #include "core/invariant_checker.h"
-#include "sim/experiment.h"
+#include "dram/dram_system.h"
+#include "sim/runner.h"
 #include "sim/trace_io.h"
 #include "sim/workload_registry.h"
 
 namespace {
+
+using namespace mgx;
 
 int
 usage(std::FILE *out)
@@ -37,12 +46,35 @@ usage(std::FILE *out)
     return out == stdout ? 0 : 2;
 }
 
+/** First streamed pass over the file: VN invariant + shape counters. */
+class InspectSink final : public core::PhaseSink
+{
+  public:
+    void
+    consume(const core::Phase &phase) override
+    {
+        ++phases_;
+        for (const auto &acc : phase.accesses) {
+            dataBytes_ += acc.bytes;
+            checker_.observe(acc);
+        }
+    }
+
+    u64 phases() const { return phases_; }
+    u64 dataBytes() const { return dataBytes_; }
+    bool invariantOk() const { return checker_.report().ok; }
+
+  private:
+    core::InvariantChecker checker_;
+    u64 phases_ = 0;
+    u64 dataBytes_ = 0;
+};
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    using namespace mgx;
     if (argc > 1 && (std::strcmp(argv[1], "--help") == 0 ||
                      std::strcmp(argv[1], "-h") == 0))
         return usage(stdout);
@@ -55,19 +87,14 @@ main(int argc, char **argv)
         std::string name = argv[2];
         if (name.find('/') == std::string::npos)
             name = "dnn/" + name; // legacy bare-model shorthand
-        core::Trace trace = sim::makeKernel(name)->generate();
-        std::ofstream out(argv[3]);
-        if (!out) {
-            std::fprintf(stderr,
-                         "trace_replay: cannot open '%s' for writing\n",
-                         argv[3]);
-            return 1;
-        }
-        sim::writeTrace(trace, out);
-        std::printf("wrote %zu phases (%.1f MB of traffic) to %s\n",
-                    trace.size(),
-                    static_cast<double>(core::traceDataBytes(trace)) /
-                        1e6,
+        auto kernel = sim::makeKernel(name);
+        // Stream straight to the file; the trace is never resident.
+        sim::TraceFileWriteSink file(argv[3]);
+        kernel->stream()->drainTo(file);
+        file.finish();
+        std::printf("wrote %llu phases (%.1f MB of traffic) to %s\n",
+                    static_cast<unsigned long long>(file.phases()),
+                    static_cast<double>(file.dataBytes()) / 1e6,
                     argv[3]);
         return 0;
     }
@@ -75,29 +102,26 @@ main(int argc, char **argv)
     if (std::strcmp(argv[1], "run") == 0) {
         if (argc > 4)
             return usage(stderr);
-        std::ifstream in(argv[2]);
-        if (!in) {
-            std::fprintf(stderr, "trace_replay: cannot open '%s'\n",
-                         argv[2]);
-            return 1;
+
+        // Pass 0: stream once for the VN invariant and the counters —
+        // also the early-out for files with nothing to simulate.
+        InspectSink inspect;
+        {
+            sim::FilePhaseSource source(argv[2]);
+            source.drainTo(inspect);
         }
-        core::Trace trace = sim::readTrace(in);
-        if (trace.empty() || core::traceDataBytes(trace) == 0) {
+        if (inspect.phases() == 0 || inspect.dataBytes() == 0) {
             std::fprintf(stderr,
                          "trace_replay: '%s' contains no accesses — "
                          "nothing to simulate\n",
                          argv[2]);
             return 1;
         }
-        std::printf("loaded %zu phases, %.1f MB of traffic\n",
-                    trace.size(),
-                    static_cast<double>(core::traceDataBytes(trace)) /
-                        1e6);
-
-        core::InvariantChecker checker;
-        checker.observeTrace(trace);
+        std::printf("loaded %llu phases, %.1f MB of traffic\n",
+                    static_cast<unsigned long long>(inspect.phases()),
+                    static_cast<double>(inspect.dataBytes()) / 1e6);
         std::printf("VN invariant: %s\n",
-                    checker.report().ok ? "OK" : "VIOLATED");
+                    inspect.invariantOk() ? "OK" : "VIOLATED");
 
         const bool edge = argc > 3 && std::strcmp(argv[3], "edge") == 0;
         if (argc > 3 && !edge && std::strcmp(argv[3], "cloud") != 0) {
@@ -109,18 +133,41 @@ main(int argc, char **argv)
         }
         const sim::Platform platform =
             edge ? sim::edgePlatform() : sim::cloudPlatform();
-        sim::ResultSet rs = sim::Experiment()
-                                .trace(argv[2], trace)
-                                .platform(platform)
-                                .schemes(sim::allSchemes())
-                                .run();
+
+        // One streamed pass per scheme on fresh engine state — the
+        // trace is re-read from disk instead of held in memory.
+        const std::vector<protection::Scheme> schemes =
+            sim::allSchemes();
+        std::vector<sim::RunResult> results;
+        const sim::RunResult *np = nullptr;
+        for (protection::Scheme scheme : schemes) {
+            dram::DramSystem dram(platform.dram);
+            protection::ProtectionConfig cfg;
+            cfg.scheme = scheme;
+            protection::ProtectionEngine engine(cfg, &dram);
+            sim::PerfModel model(&engine, platform.clockMhz);
+            sim::FilePhaseSource source(argv[2]);
+            results.push_back(model.run(source));
+        }
+        for (std::size_t i = 0; i < schemes.size(); ++i)
+            if (schemes[i] == protection::Scheme::NP)
+                np = &results[i];
+        if (np == nullptr || np->totalCycles == 0 ||
+            np->traffic.totalBytes() == 0) {
+            std::fprintf(stderr, "trace_replay: no NP baseline run — "
+                                 "cannot normalize\n");
+            return 1;
+        }
         std::printf("%-8s %12s %12s\n", "scheme", "norm. time",
                     "traffic");
-        for (auto s : sim::allSchemes())
+        for (std::size_t i = 0; i < results.size(); ++i)
             std::printf(
-                "%-8s %12.3f %12.3f\n", protection::schemeName(s),
-                rs.normalizedTime(argv[2], platform.name, s).value(),
-                rs.trafficIncrease(argv[2], platform.name, s).value());
+                "%-8s %12.3f %12.3f\n",
+                protection::schemeName(schemes[i]),
+                static_cast<double>(results[i].totalCycles) /
+                    static_cast<double>(np->totalCycles),
+                static_cast<double>(results[i].traffic.totalBytes()) /
+                    static_cast<double>(np->traffic.totalBytes()));
         return 0;
     }
     std::fprintf(stderr, "trace_replay: unknown command '%s'\n",

@@ -1,0 +1,14 @@
+#include "kernel.h"
+
+namespace mgx::core {
+
+Trace
+Kernel::generate()
+{
+    Trace trace;
+    TraceBuildSink sink(trace);
+    stream()->drainTo(sink);
+    return trace;
+}
+
+} // namespace mgx::core

@@ -6,15 +6,24 @@
  * control processor — is the component that generates version numbers.
  * Each domain (DNN, graph, genome, video, and the tiled-MatMul example)
  * subclasses Kernel, maintains its VN program state in a VnState, and
- * emits a Trace whose logical accesses carry fully formed VNs.
+ * produces phases whose logical accesses carry fully formed VNs.
+ *
+ * Production is streaming-first: subclasses implement stream(), a
+ * pull-based chunked PhaseSource, so consumers can replay a workload
+ * without ever materializing it (the memory ceiling that used to cap
+ * workload size at RAM). generate() remains for every caller that
+ * wants a whole Trace — it simply drains the stream into an arena, so
+ * the two paths emit identical phases by construction.
  */
 
 #ifndef MGX_CORE_KERNEL_H
 #define MGX_CORE_KERNEL_H
 
+#include <memory>
 #include <string>
 
 #include "phase.h"
+#include "phase_stream.h"
 #include "vn_state.h"
 
 namespace mgx::core {
@@ -29,11 +38,21 @@ class Kernel
     virtual std::string name() const = 0;
 
     /**
-     * Run the kernel's schedule and emit the phase trace. Idempotent
-     * only if the subclass resets its state; callers should treat each
-     * call as one further execution (e.g. one more training iteration).
+     * Begin one execution of the kernel's schedule as a pull-based
+     * phase stream. The source borrows the kernel (the kernel must
+     * outlive it) and advances the kernel's VN state exactly as
+     * generate() does; fully draining the stream is one further
+     * execution (e.g. one more training iteration). Never run two
+     * streams of the same kernel at once.
      */
-    virtual Trace generate() = 0;
+    virtual std::unique_ptr<PhaseSource> stream() = 0;
+
+    /**
+     * Run the kernel's schedule and materialize the phase trace:
+     * stream() drained into an arena. Same state-advance semantics as
+     * stream(); needs O(workload) memory, unlike the stream path.
+     */
+    Trace generate();
 
     /** The kernel's on-chip VN state (for storage-cost reporting). */
     const VnState &state() const { return state_; }

@@ -43,73 +43,116 @@ MatMulKernel::tileAddrC(u64 mi, u64 ni) const
     return params_.baseC + (mi * params_.nTiles + ni) * tile_bytes;
 }
 
-Trace
-MatMulKernel::generate()
+/**
+ * Streaming producer for the Fig. 4(b) schedule: the setup phase, then
+ * one compute phase per (ki, mi, ni) tile, with VN[C] bumped exactly
+ * when round ki begins — the same order and state evolution the
+ * materializing loop had. One phase per chunk through a reused
+ * scratch Phase, so the producer-side footprint is one phase.
+ */
+class MatMulKernel::Source final : public PhaseSource
 {
-    const u64 tm = params_.m / params_.mTiles;
-    const u64 tn = params_.n / params_.nTiles;
-    const u64 tk = params_.k / params_.kTiles;
-    const u64 bytes_a = tm * tk * params_.elemBytes;
-    const u64 bytes_b = tk * tn * params_.elemBytes;
-    const u64 bytes_c = tm * tn * params_.elemBytes;
-    const Vn vn_in = makeVn(DataClass::Generic, params_.initialVn);
+  public:
+    explicit Source(MatMulKernel &kernel)
+        : k_(&kernel),
+          tm_(kernel.params_.m / kernel.params_.mTiles),
+          tn_(kernel.params_.n / kernel.params_.nTiles),
+          tk_(kernel.params_.k / kernel.params_.kTiles),
+          bytesA_(tm_ * tk_ * kernel.params_.elemBytes),
+          bytesB_(tk_ * tn_ * kernel.params_.elemBytes),
+          bytesC_(tm_ * tn_ * kernel.params_.elemBytes),
+          vnIn_(makeVn(DataClass::Generic, kernel.params_.initialVn))
+    {
+    }
 
-    Trace trace;
-    trace.reserve(1 + params_.kTiles * params_.mTiles * params_.nTiles);
+    bool
+    nextChunk(PhaseSink &sink) override
+    {
+        const MatMulParams &p = k_->params_;
+        scratch_.name.clear();
+        scratch_.accesses.clear();
+        scratch_.computeCycles = 0;
 
-    // Session setup: the host loads A and B with the initial VN.
-    Phase setup;
-    setup.name = "load-operands";
-    setup.accesses.reserve(params_.mTiles * params_.kTiles +
-                           params_.kTiles * params_.nTiles);
-    for (u64 mi = 0; mi < params_.mTiles; ++mi)
-        for (u64 ki = 0; ki < params_.kTiles; ++ki)
-            setup.accesses.push_back({tileAddrA(mi, ki), bytes_a, vn_in,
-                                      AccessType::Write,
-                                      DataClass::Generic, 0});
-    for (u64 ki = 0; ki < params_.kTiles; ++ki)
-        for (u64 ni = 0; ni < params_.nTiles; ++ni)
-            setup.accesses.push_back({tileAddrB(ki, ni), bytes_b, vn_in,
-                                      AccessType::Write,
-                                      DataClass::Generic, 0});
-    trace.push_back(std::move(setup));
+        if (!setupDone_) {
+            // Session setup: the host loads A and B with the initial VN.
+            scratch_.name = "load-operands";
+            scratch_.accesses.reserve(p.mTiles * p.kTiles +
+                                      p.kTiles * p.nTiles);
+            for (u64 mi = 0; mi < p.mTiles; ++mi)
+                for (u64 ki = 0; ki < p.kTiles; ++ki)
+                    scratch_.accesses.push_back(
+                        {k_->tileAddrA(mi, ki), bytesA_, vnIn_,
+                         AccessType::Write, DataClass::Generic, 0});
+            for (u64 ki = 0; ki < p.kTiles; ++ki)
+                for (u64 ni = 0; ni < p.nTiles; ++ni)
+                    scratch_.accesses.push_back(
+                        {k_->tileAddrB(ki, ni), bytesB_, vnIn_,
+                         AccessType::Write, DataClass::Generic, 0});
+            sink.consume(scratch_);
+            setupDone_ = true;
+            return ki_ < p.kTiles;
+        }
+        if (ki_ >= p.kTiles)
+            return false;
 
-    // Fig. 4(b): outer loop over K rounds; VN[C] bumps once per round.
-    for (u64 ki = 0; ki < params_.kTiles; ++ki) {
-        const Vn vn_c_read =
-            makeVn(DataClass::Generic, state_.counter("VN[C]"));
-        const Vn vn_c_write =
-            makeVn(DataClass::Generic, state_.bumpCounter("VN[C]"));
-        for (u64 mi = 0; mi < params_.mTiles; ++mi) {
-            for (u64 ni = 0; ni < params_.nTiles; ++ni) {
-                Phase p;
-                p.name = "round" + std::to_string(ki) + "-tile(" +
-                         std::to_string(mi) + "," + std::to_string(ni) +
-                         ")";
-                // MACs / PEs, one MAC per PE per cycle.
-                p.computeCycles = divCeil(tm * tn * tk, params_.peCount);
-                p.accesses.reserve(ki > 0 ? 4 : 3);
-                p.accesses.push_back({tileAddrA(mi, ki), bytes_a, vn_in,
-                                      AccessType::Read,
-                                      DataClass::Generic, 0});
-                p.accesses.push_back({tileAddrB(ki, ni), bytes_b, vn_in,
-                                      AccessType::Read,
-                                      DataClass::Generic, 0});
-                if (ki > 0) {
-                    // Accumulate: re-read the partial result with the VN
-                    // it was last written with.
-                    p.accesses.push_back({tileAddrC(mi, ni), bytes_c,
-                                          vn_c_read, AccessType::Read,
-                                          DataClass::Generic, 0});
-                }
-                p.accesses.push_back({tileAddrC(mi, ni), bytes_c,
-                                      vn_c_write, AccessType::Write,
-                                      DataClass::Generic, 0});
-                trace.push_back(std::move(p));
+        // Fig. 4(b): outer loop over K rounds; VN[C] bumps once per
+        // round, as the first tile of the round is scheduled.
+        if (mi_ == 0 && ni_ == 0) {
+            vnCRead_ =
+                makeVn(DataClass::Generic, k_->state_.counter("VN[C]"));
+            vnCWrite_ = makeVn(DataClass::Generic,
+                               k_->state_.bumpCounter("VN[C]"));
+        }
+        scratch_.name = "round" + std::to_string(ki_) + "-tile(" +
+                        std::to_string(mi_) + "," + std::to_string(ni_) +
+                        ")";
+        // MACs / PEs, one MAC per PE per cycle.
+        scratch_.computeCycles = divCeil(tm_ * tn_ * tk_, p.peCount);
+        scratch_.accesses.reserve(ki_ > 0 ? 4 : 3);
+        scratch_.accesses.push_back({k_->tileAddrA(mi_, ki_), bytesA_,
+                                     vnIn_, AccessType::Read,
+                                     DataClass::Generic, 0});
+        scratch_.accesses.push_back({k_->tileAddrB(ki_, ni_), bytesB_,
+                                     vnIn_, AccessType::Read,
+                                     DataClass::Generic, 0});
+        if (ki_ > 0) {
+            // Accumulate: re-read the partial result with the VN it
+            // was last written with.
+            scratch_.accesses.push_back({k_->tileAddrC(mi_, ni_), bytesC_,
+                                         vnCRead_, AccessType::Read,
+                                         DataClass::Generic, 0});
+        }
+        scratch_.accesses.push_back({k_->tileAddrC(mi_, ni_), bytesC_,
+                                     vnCWrite_, AccessType::Write,
+                                     DataClass::Generic, 0});
+        sink.consume(scratch_);
+
+        if (++ni_ == p.nTiles) {
+            ni_ = 0;
+            if (++mi_ == p.mTiles) {
+                mi_ = 0;
+                ++ki_;
             }
         }
+        return ki_ < p.kTiles;
     }
-    return trace;
+
+  private:
+    MatMulKernel *k_;
+    u64 tm_, tn_, tk_;
+    u64 bytesA_, bytesB_, bytesC_;
+    Vn vnIn_;
+    Vn vnCRead_ = 0;
+    Vn vnCWrite_ = 0;
+    bool setupDone_ = false;
+    u64 ki_ = 0, mi_ = 0, ni_ = 0;
+    Phase scratch_;
+};
+
+std::unique_ptr<PhaseSource>
+MatMulKernel::stream()
+{
+    return std::make_unique<Source>(*this);
 }
 
 Vn

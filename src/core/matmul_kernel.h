@@ -41,11 +41,12 @@ class MatMulKernel : public Kernel
     std::string name() const override { return "tiled-matmul"; }
 
     /**
-     * Emit the trace. The first generated phase list also contains the
-     * initial writes of A and B with `initialVn`, modeling the session
-     * setup that loads the operands into protected memory.
+     * Stream the schedule's phases. The first emitted phase also
+     * contains the initial writes of A and B with `initialVn`,
+     * modeling the session setup that loads the operands into
+     * protected memory.
      */
-    Trace generate() override;
+    std::unique_ptr<PhaseSource> stream() override;
 
     /** VN the final C tiles were written with (initialVn + kTiles). */
     Vn finalOutputVn() const;
@@ -53,6 +54,8 @@ class MatMulKernel : public Kernel
     const MatMulParams &params() const { return params_; }
 
   private:
+    class Source; // the streaming producer (matmul_kernel.cc)
+
     Addr tileAddrA(u64 mi, u64 ki) const;
     Addr tileAddrB(u64 ki, u64 ni) const;
     Addr tileAddrC(u64 mi, u64 ni) const;

@@ -211,7 +211,7 @@ DnnKernel::pushWeightRead(std::size_t idx, AccessList &out)
 }
 
 void
-DnnKernel::emitForwardLayer(std::size_t idx, Trace &trace)
+DnnKernel::emitForwardLayer(std::size_t idx, core::PhaseSink &sink)
 {
     const Layer &l = model_.layers[idx];
     const u64 eb = accel_.elemBytes;
@@ -250,7 +250,7 @@ DnnKernel::emitForwardLayer(std::size_t idx, Trace &trace)
         p.accesses.push_back({t.addr, t.bytes,
                               makeVn(DataClass::Feature, vn_out),
                               AccessType::Write, DataClass::Feature, 0});
-        trace.push_back(std::move(p));
+        sink.consume(p);
         return;
     }
 
@@ -365,7 +365,7 @@ DnnKernel::emitForwardLayer(std::size_t idx, Trace &trace)
             p.accesses.push_back({t.addr + ob, oe - ob,
                                   makeVn(DataClass::Feature, vn_write),
                                   AccessType::Write, DataClass::Feature, 0});
-            trace.push_back(std::move(p));
+            sink.consume(p);
         }
         vn_prev = vn_write;
         ++t.writes;
@@ -375,7 +375,7 @@ DnnKernel::emitForwardLayer(std::size_t idx, Trace &trace)
 }
 
 void
-DnnKernel::emitBackwardLayer(std::size_t idx, Trace &trace)
+DnnKernel::emitBackwardLayer(std::size_t idx, core::PhaseSink &sink)
 {
     const Layer &l = model_.layers[idx];
     const u64 eb = accel_.elemBytes;
@@ -407,7 +407,7 @@ DnnKernel::emitBackwardLayer(std::size_t idx, Trace &trace)
                                   makeVn(DataClass::Gradient, vn_gw),
                                   AccessType::Write, DataClass::Gradient, 64});
         }
-        trace.push_back(std::move(p));
+        sink.consume(p);
         return;
     }
 
@@ -523,7 +523,7 @@ DnnKernel::emitBackwardLayer(std::size_t idx, Trace &trace)
                      DataClass::Gradient, 0});
             }
         }
-        trace.push_back(std::move(p));
+        sink.consume(p);
     }
 
     // gy is fully consumed; recycle its buffer.
@@ -531,8 +531,8 @@ DnnKernel::emitBackwardLayer(std::size_t idx, Trace &trace)
     gy.writes = 0;
 }
 
-Trace
-DnnKernel::generate()
+void
+DnnKernel::beginRun()
 {
     const std::size_t n = model_.layers.size();
     features_.assign(n, {});
@@ -555,42 +555,93 @@ DnnKernel::generate()
     inputBytes_ = static_cast<u64>(batch_) *
                   model_.layers.front().inputElems() * accel_.elemBytes;
     inputAddr_ = featureAlloc_->alloc(std::max<u64>(inputBytes_, 64));
+}
 
-    Trace trace;
-    for (std::size_t i = 0; i < n; ++i) {
-        emitForwardLayer(i, trace);
-        // Recycle producers that have no remaining consumers
-        // (inference only; training keeps features for backward).
-        if (task_ == DnnTask::Inference) {
-            for (int p : model_.layers[i].inputs) {
-                if (p < 0)
-                    continue;
-                auto pi = static_cast<std::size_t>(p);
-                if (--remainingUses_[pi] == 0)
-                    featureAlloc_->free(features_[pi].addr);
+/**
+ * Streaming producer: one layer's phases per chunk — forward layers in
+ * order, then (training) the loss-gradient seed and the backward
+ * layers in reverse. Buffer recycling happens as each layer is
+ * emitted, so the address map and VN tables evolve exactly as the
+ * materializing loop evolved them.
+ */
+class DnnKernel::Source final : public core::PhaseSource
+{
+  public:
+    explicit Source(DnnKernel &kernel) : k_(&kernel)
+    {
+        k_->beginRun();
+    }
+
+    bool
+    nextChunk(core::PhaseSink &sink) override
+    {
+        const std::size_t n = k_->model_.layers.size();
+        switch (stage_) {
+          case Stage::Forward: {
+            k_->emitForwardLayer(idx_, sink);
+            // Recycle producers that have no remaining consumers
+            // (inference only; training keeps features for backward).
+            if (k_->task_ == DnnTask::Inference) {
+                for (int p : k_->model_.layers[idx_].inputs) {
+                    if (p < 0)
+                        continue;
+                    auto pi = static_cast<std::size_t>(p);
+                    if (--k_->remainingUses_[pi] == 0)
+                        k_->featureAlloc_->free(k_->features_[pi].addr);
+                }
             }
+            if (++idx_ < n)
+                return true;
+            if (k_->task_ != DnnTask::Training) {
+                stage_ = Stage::Done;
+                return false;
+            }
+            stage_ = Stage::Loss;
+            return true;
+          }
+          case Stage::Loss: {
+            // Loss gradient seeds the backward pass.
+            TensorInfo &gl = k_->gradients_[n - 1];
+            gl.bytes = k_->features_[n - 1].bytes;
+            gl.addr = k_->featureAlloc_->alloc(gl.bytes);
+            gl.vn = k_->bumpGradientVn();
+            gl.writes = 1;
+            Phase loss;
+            loss.name = "loss-grad";
+            loss.computeCycles = 1;
+            loss.accesses.push_back(
+                {gl.addr, gl.bytes, makeVn(DataClass::Gradient, gl.vn),
+                 AccessType::Write, DataClass::Gradient, 0});
+            sink.consume(loss);
+            stage_ = Stage::Backward;
+            idx_ = n; // emitted as idx_ - 1, counting down
+            return true;
+          }
+          case Stage::Backward: {
+            k_->emitBackwardLayer(idx_ - 1, sink);
+            if (--idx_ > 0)
+                return true;
+            stage_ = Stage::Done;
+            return false;
+          }
+          case Stage::Done:
+            return false;
         }
+        return false;
     }
 
-    if (task_ == DnnTask::Training) {
-        // Loss gradient seeds the backward pass.
-        TensorInfo &gl = gradients_[n - 1];
-        gl.bytes = features_[n - 1].bytes;
-        gl.addr = featureAlloc_->alloc(gl.bytes);
-        gl.vn = bumpGradientVn();
-        gl.writes = 1;
-        Phase loss;
-        loss.name = "loss-grad";
-        loss.computeCycles = 1;
-        loss.accesses.push_back({gl.addr, gl.bytes,
-                                 makeVn(DataClass::Gradient, gl.vn),
-                                 AccessType::Write, DataClass::Gradient, 0});
-        trace.push_back(std::move(loss));
+  private:
+    enum class Stage { Forward, Loss, Backward, Done };
 
-        for (std::size_t i = n; i-- > 0;)
-            emitBackwardLayer(i, trace);
-    }
-    return trace;
+    DnnKernel *k_;
+    Stage stage_ = Stage::Forward;
+    std::size_t idx_ = 0;
+};
+
+std::unique_ptr<core::PhaseSource>
+DnnKernel::stream()
+{
+    return std::make_unique<Source>(*this);
 }
 
 } // namespace mgx::dnn

@@ -83,7 +83,9 @@ class DnnKernel : public core::Kernel
 
     std::string name() const override;
 
-    core::Trace generate() override;
+    /** Stream one forward (+ backward when training) pass, one layer's
+     *  phases per chunk. */
+    std::unique_ptr<core::PhaseSource> stream() override;
 
     /** Per-layer output tensor info after generate() (tests). */
     const std::vector<TensorInfo> &featureTensors() const
@@ -106,11 +108,16 @@ class DnnKernel : public core::Kernel
     u32 batch() const { return batch_; }
 
   private:
-    /** Emit the phases of one forward layer into @p trace. */
-    void emitForwardLayer(std::size_t idx, core::Trace &trace);
+    class Source; // the streaming producer (dnn_kernel.cc)
 
-    /** Emit the phases of one backward layer into @p trace. */
-    void emitBackwardLayer(std::size_t idx, core::Trace &trace);
+    /** Reset per-run state: address map, VN tables, consumer counts. */
+    void beginRun();
+
+    /** Emit the phases of one forward layer into @p sink. */
+    void emitForwardLayer(std::size_t idx, core::PhaseSink &sink);
+
+    /** Emit the phases of one backward layer into @p sink. */
+    void emitBackwardLayer(std::size_t idx, core::PhaseSink &sink);
 
     /** Read accesses for layer inputs (features or model input). */
     void pushInputReads(const Layer &l, core::AccessList &out);

@@ -28,12 +28,16 @@ class GenomeKernel : public core::Kernel
 
     std::string name() const override { return workload_.name; }
 
-    core::Trace generate() override;
+    /** Stream one query batch (CTR_query bumps at stream creation),
+     *  one GACT wave phase per chunk. */
+    std::unique_ptr<core::PhaseSource> stream() override;
 
     /** VN value used for query/traceback data (tests). */
     Vn queryVn() const;
 
   private:
+    class Source; // the streaming producer (genome_kernel.cc)
+
     GactWorkload workload_;
     GactConfig config_;
     u64 seed_;

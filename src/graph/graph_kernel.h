@@ -51,12 +51,16 @@ class GraphKernel : public core::Kernel
 
     std::string name() const override;
 
-    core::Trace generate() override;
+    /** Stream the tiled SpMV schedule, one (iter, block, tile) phase
+     *  per chunk; Iter bumps as each sweep begins. */
+    std::unique_ptr<core::PhaseSource> stream() override;
 
     /** The 64-bit Iter counter after the run (paper: the whole state). */
     Vn iterCounter() const { return state_.counter("Iter"); }
 
   private:
+    class Source; // the streaming producer (graph_kernel.cc)
+
     GraphTiles tiles_;
     GraphAlgorithm algorithm_;
     u32 iterations_;

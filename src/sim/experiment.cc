@@ -248,6 +248,67 @@ Experiment::traceCacheDir(const std::string &dir)
     return *this;
 }
 
+Experiment &
+Experiment::traceCacheMaxBytes(u64 bytes)
+{
+    traceCacheMaxBytes_ = bytes;
+    return *this;
+}
+
+Experiment &
+Experiment::streaming(bool on)
+{
+    streaming_ = on;
+    return *this;
+}
+
+u64
+enforceTraceCacheLimit(const std::string &dir, u64 max_bytes)
+{
+    namespace fs = std::filesystem;
+    struct CacheFile
+    {
+        fs::path path;
+        fs::file_time_type mtime;
+        u64 bytes = 0;
+    };
+    std::vector<CacheFile> files;
+    u64 total = 0;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+        if (ec)
+            break;
+        if (!entry.is_regular_file(ec) || ec)
+            continue;
+        if (entry.path().extension() != ".trace")
+            continue; // never delete anything the cache did not write
+        std::error_code fec;
+        const u64 bytes = entry.file_size(fec);
+        if (fec)
+            continue;
+        const auto mtime = fs::last_write_time(entry.path(), fec);
+        if (fec)
+            continue;
+        files.push_back({entry.path(), mtime, bytes});
+        total += bytes;
+    }
+    std::sort(files.begin(), files.end(),
+              [](const CacheFile &a, const CacheFile &b) {
+                  return a.mtime != b.mtime ? a.mtime < b.mtime
+                                            : a.path < b.path;
+              });
+    u64 evicted = 0;
+    for (const auto &file : files) {
+        if (total <= max_bytes)
+            break;
+        std::error_code rec;
+        fs::remove(file.path, rec); // racing deleters are fine
+        total -= file.bytes;
+        ++evicted;
+    }
+    return evicted;
+}
+
 ResultSet
 Experiment::run() const
 {
@@ -312,12 +373,17 @@ Experiment::run() const
         }
     }
 
-    // Phase 1: generate each distinct trace once, in parallel. A
-    // fresh kernel per job keeps generation deterministic regardless
+    // Phase 1: make each distinct trace available once, in parallel.
+    // A fresh kernel per job keeps generation deterministic regardless
     // of scheduling. With a trace-cache directory set, a key that was
-    // serialized by an earlier run (any process) deserializes instead
-    // of regenerating; distinct jobs write distinct files, so the
-    // parallel writers never collide.
+    // serialized by an earlier run (any process) is reused — its
+    // mtime is touched so LRU eviction sees the use — and a missing
+    // key is produced exactly once; distinct jobs write distinct
+    // files, so the parallel writers never collide. On the streaming
+    // path the kernel is serialized phase by phase (TraceFileWriteSink)
+    // and nothing is materialized; without a cache directory the
+    // streaming path needs no phase 1 at all — every cell streams its
+    // own fresh kernel.
     if (!traceCacheDir_.empty()) {
         std::error_code ec;
         std::filesystem::create_directories(traceCacheDir_, ec);
@@ -325,6 +391,11 @@ Experiment::run() const
             fatal("cannot create trace-cache dir '%s': %s",
                   traceCacheDir_.c_str(), ec.message().c_str());
     }
+    const auto cacheFilePath = [this](const TraceJob &job) {
+        return (std::filesystem::path(traceCacheDir_) /
+                traceCacheFileName(job.cacheKey))
+            .string();
+    };
     std::vector<core::Trace> traces(jobs.size());
     std::atomic<u64> cache_hits{0};
     std::atomic<u64> cache_misses{0};
@@ -332,39 +403,74 @@ Experiment::run() const
         if (jobs[i].explicitTrace != nullptr)
             return;
         if (traceCacheDir_.empty()) {
-            traces[i] =
-                makeKernel(jobs[i].name, jobs[i].platform)->generate();
+            if (!streaming_)
+                traces[i] = makeKernel(jobs[i].name, jobs[i].platform)
+                                ->generate();
             return;
         }
-        const std::filesystem::path file =
-            std::filesystem::path(traceCacheDir_) /
-            traceCacheFileName(jobs[i].cacheKey);
+        const std::string file = cacheFilePath(jobs[i]);
         if (std::filesystem::exists(file)) {
-            traces[i] = readTraceFile(file.string());
+            std::error_code ec;
+            std::filesystem::last_write_time(
+                file, std::filesystem::file_time_type::clock::now(),
+                ec); // touch-on-hit keeps mtime order = LRU order
+            if (!streaming_)
+                traces[i] = readTraceFile(file);
             cache_hits.fetch_add(1, std::memory_order_relaxed);
             return;
         }
-        traces[i] =
-            makeKernel(jobs[i].name, jobs[i].platform)->generate();
-        writeTraceFile(traces[i], file.string());
+        if (streaming_) {
+            auto kernel = makeKernel(jobs[i].name, jobs[i].platform);
+            TraceFileWriteSink sink(file);
+            kernel->stream()->drainTo(sink);
+            sink.finish();
+        } else {
+            traces[i] =
+                makeKernel(jobs[i].name, jobs[i].platform)->generate();
+            writeTraceFile(traces[i], file);
+        }
         cache_misses.fetch_add(1, std::memory_order_relaxed);
     });
 
-    // Phase 2: simulate every cell on fresh per-cell state.
+    // Phase 2: simulate every cell on fresh per-cell state. Streamed
+    // cells pull phases from the cache file (when caching) or from
+    // their own fresh kernel — deterministic either way, so the two
+    // are bitwise-identical on every model output.
     std::vector<RunResult> results(cells.size());
     parallelFor(cells.size(), threads_, [&](std::size_t i) {
         const Cell &cell = cells[i];
-        const core::Trace &trace =
-            jobs[cell.traceJob].explicitTrace != nullptr
-                ? *jobs[cell.traceJob].explicitTrace
-                : traces[cell.traceJob];
+        const TraceJob &job = jobs[cell.traceJob];
         dram::DramSystem dram(cell.platform.dram);
         protection::ProtectionConfig cfg = config_;
         cfg.scheme = cell.scheme;
         protection::ProtectionEngine engine(cfg, &dram);
         PerfModel model(&engine, cell.platform.clockMhz);
-        results[i] = model.run(trace);
+        if (job.explicitTrace != nullptr) {
+            results[i] = model.run(*job.explicitTrace);
+            return;
+        }
+        if (!streaming_) {
+            results[i] = model.run(traces[cell.traceJob]);
+            return;
+        }
+        if (!traceCacheDir_.empty()) {
+            // The cache is shared across processes, so another run's
+            // eviction may have deleted the file since phase 1
+            // touched it; fall back to streaming the kernel directly
+            // (equal keys guarantee the identical phase stream).
+            if (auto source =
+                    FilePhaseSource::openIfReadable(cacheFilePath(job))) {
+                results[i] = model.run(*source);
+                return;
+            }
+        }
+        auto kernel = makeKernel(job.name, job.platform);
+        auto source = kernel->stream();
+        results[i] = model.run(*source);
     });
+
+    if (!traceCacheDir_.empty() && traceCacheMaxBytes_ > 0)
+        enforceTraceCacheLimit(traceCacheDir_, traceCacheMaxBytes_);
 
     ResultSet rs;
     rs.setTraceCacheStats(cache_hits.load(), cache_misses.load());

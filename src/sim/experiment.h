@@ -13,11 +13,21 @@
  *                                 protection::Scheme::BP).value();
  *
  * Each grid cell simulates on a fresh DramSystem/ProtectionEngine, so
- * cells are independent and run embarrassingly parallel. Each
- * workload's trace is generated once per traceCacheKey() and shared
- * read-only by every cell that consumes it (a Cloud+Edge grid of a
- * platform-independent workload generates one trace, not two).
- * Results are deterministic and independent of the thread count.
+ * cells are independent and run embarrassingly parallel.
+ *
+ * Registry workloads run through the streaming phase pipeline by
+ * default: each cell pulls phases straight off a fresh kernel (or off
+ * the on-disk trace cache, which phase 1 populates by streaming the
+ * kernel once per traceCacheKey() without materializing), so memory
+ * stays bounded by one phase regardless of workload size —
+ * RunResult::peakPhaseBytes reports the high-water mark. streaming
+ * (false) restores the materialize-then-replay path: each distinct
+ * trace is generated once and shared read-only by every cell that
+ * consumes it. Both paths are bitwise-identical on every model output
+ * (cycles, traffic, access counts); only the trace-footprint fields
+ * (traceBytes, peakPhaseBytes) depend on the path, since they
+ * describe the replay's memory behaviour itself. Results are
+ * deterministic and independent of the thread count.
  */
 
 #ifndef MGX_SIM_EXPERIMENT_H
@@ -155,12 +165,31 @@ class Experiment
      * separate process — that needs the same trace deserializes it
      * instead of re-running the kernel. Equal keys guarantee equal
      * traces, so a cached cell is bit-identical to a generated one on
-     * every model output (cycles, traffic, access counts); only
-     * RunResult::traceBytes — the in-memory footprint of the trace
-     * container, which depends on how it was built — may differ.
-     * Explicit traces added with trace() are never cached.
+     * every model output (cycles, traffic, access counts); only the
+     * trace-footprint fields (RunResult::traceBytes, peakPhaseBytes) —
+     * which describe how the trace was held in memory — may differ.
+     * Explicit traces added with trace() are never cached. Cache hits
+     * refresh the file's mtime, so the LRU size cap (see
+     * traceCacheMaxBytes) evicts the least recently *used* trace.
      */
     Experiment &traceCacheDir(const std::string &dir);
+
+    /**
+     * LRU size cap for the trace-cache directory: after the run,
+     * evict the oldest-mtime *.trace files until the directory's
+     * total is back under @p bytes (0 = unbounded, the default).
+     * Requires traceCacheDir(). A long-lived checkout can leave the
+     * cache on without it growing without bound.
+     */
+    Experiment &traceCacheMaxBytes(u64 bytes);
+
+    /**
+     * Select the replay path for registry workloads: true (default)
+     * streams phases straight off the kernel / cache file; false
+     * materializes each distinct trace first and shares it across
+     * cells. Model outputs are identical either way.
+     */
+    Experiment &streaming(bool on);
 
     /** Expand the grid, simulate every cell, return the results. */
     ResultSet run() const;
@@ -179,7 +208,19 @@ class Experiment
     protection::ProtectionConfig config_;
     u32 threads_ = 0;
     std::string traceCacheDir_;
+    u64 traceCacheMaxBytes_ = 0;
+    bool streaming_ = true;
 };
+
+/**
+ * Enforce the trace-cache LRU size cap on @p dir: while the total
+ * size of its *.trace files exceeds @p max_bytes, delete the one with
+ * the oldest mtime (reads touch their file, so mtime order is LRU
+ * order). Other files are never touched. Returns the number of files
+ * evicted. Missing directories and racing deleters are tolerated —
+ * the cache is shared across processes.
+ */
+u64 enforceTraceCacheLimit(const std::string &dir, u64 max_bytes);
 
 } // namespace mgx::sim
 

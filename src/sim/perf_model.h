@@ -14,12 +14,22 @@
  *   s_i = max(c_i, e_{i-1});  e_i = s_i + compute_i
  *
  * Total time is max(e_N, c_N) plus the final metadata flush.
+ *
+ * Two entry points share one per-phase step, so they are
+ * bitwise-identical by construction: run(const Trace&) replays a
+ * materialized trace, run(PhaseSource&) pulls phases straight off a
+ * producer (a streaming kernel or trace file) and never holds more
+ * than the producer's chunk in memory — the peak is reported as
+ * RunResult::peakPhaseBytes.
  */
 
 #ifndef MGX_SIM_PERF_MODEL_H
 #define MGX_SIM_PERF_MODEL_H
 
+#include <span>
+
 #include "core/phase.h"
+#include "core/phase_stream.h"
 #include "protection/protection_engine.h"
 
 namespace mgx::sim {
@@ -33,7 +43,11 @@ struct RunResult
     protection::TrafficBreakdown traffic;
     u64 dramAccesses = 0;     ///< 64 B DRAM requests actually issued
     u64 logicalAccesses = 0;  ///< kernel-level requests into the engine
-    u64 traceBytes = 0;       ///< memory footprint of the replayed trace
+    u64 traceBytes = 0;       ///< trace footprint: resident (materialized
+                              ///< replay) or cumulative-streamed estimate
+    u64 peakPhaseBytes = 0;   ///< high-water mark of phase bytes buffered
+                              ///< at once (streamed: one chunk; whole
+                              ///< trace when materialized)
     u64 metaCacheHits = 0;       ///< metadata-cache hits (BP/MGX_MAC)
     u64 metaCacheMisses = 0;     ///< metadata-cache misses
     u64 metaCacheWritebacks = 0; ///< dirty metadata evictions
@@ -65,7 +79,34 @@ class PerfModel
     /** Simulate @p trace from cycle 0; returns the aggregate result. */
     RunResult run(const core::Trace &trace);
 
+    /**
+     * Simulate a phase stream from cycle 0, consuming chunks as the
+     * producer emits them. Identical cycle/traffic results to running
+     * the materialized equivalent; memory stays bounded by the
+     * producer's chunk (RunResult::peakPhaseBytes).
+     */
+    RunResult run(core::PhaseSource &source);
+
   private:
+    /** Accumulator state of one replay (the recurrence above). */
+    struct Replay
+    {
+        Cycles memFree = 0;     ///< when the memory stream can take phase i
+        Cycles computeDone = 0; ///< e_{i-1}
+        Cycles memBusy = 0;
+        Cycles computeTotal = 0;
+    };
+
+    class StreamSink; // PhaseSink feeding step() (perf_model.cc)
+
+    /** Replay one phase: the serialized memory stream + overlap rule. */
+    void step(Replay &rep, Cycles compute_cycles,
+              std::span<const core::LogicalAccess> accesses);
+
+    /** Flush the engine and package the aggregate result. */
+    RunResult finish(const Replay &rep, u64 trace_bytes,
+                     u64 peak_phase_bytes);
+
     /** Convert accelerator cycles to controller cycles (rounding up). */
     Cycles toCtrl(Cycles accel_cycles) const;
 

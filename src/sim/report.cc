@@ -64,12 +64,12 @@ schemeByName(const std::string &name)
 void
 printTable(const ResultSet &rs, std::FILE *out)
 {
-    std::fprintf(out, "%-36s %-8s %-8s %12s %10s %10s\n", "workload",
-                 "platform", "scheme", "time(ms)", "norm.time",
-                 "traffic");
+    std::fprintf(out, "%-36s %-8s %-8s %12s %10s %10s %10s\n",
+                 "workload", "platform", "scheme", "time(ms)",
+                 "norm.time", "traffic", "peak(KB)");
     std::fprintf(out,
                  "--------------------------------------------------"
-                 "------------------------------\n");
+                 "-----------------------------------------\n");
     for (const auto &r : rs.records()) {
         const auto norm = rs.normalizedTime(
             r.key.workload, r.key.platform, r.key.scheme);
@@ -84,9 +84,14 @@ printTable(const ResultSet &rs, std::FILE *out)
         else
             std::fprintf(out, "%10s ", "n/a");
         if (traffic)
-            std::fprintf(out, "%10.3f\n", *traffic);
+            std::fprintf(out, "%10.3f ", *traffic);
         else
-            std::fprintf(out, "%10s\n", "n/a");
+            std::fprintf(out, "%10s ", "n/a");
+        // The replay's phase-buffer high-water mark: one chunk when
+        // streamed, the whole trace when materialized.
+        std::fprintf(out, "%10.1f\n",
+                     static_cast<double>(r.result.peakPhaseBytes) /
+                         1024.0);
     }
 }
 
@@ -109,6 +114,7 @@ writeJson(const ResultSet &rs, std::ostream &out)
             << ", \"dramAccesses\": " << r.result.dramAccesses
             << ", \"logicalAccesses\": " << r.result.logicalAccesses
             << ", \"traceBytes\": " << r.result.traceBytes
+            << ", \"peakPhaseBytes\": " << r.result.peakPhaseBytes
             << ",\n"
             << "     \"metaCache\": {\"hits\": "
             << r.result.metaCacheHits

@@ -35,23 +35,117 @@ classFromToken(const std::string &token, unsigned line)
     fatal("trace line %u: unknown data class '%s'", line, token.c_str());
 }
 
+/** Serialize one phase header line — shared by every writer. */
+void
+writePhaseHeader(std::ostream &out, std::string_view name,
+                 Cycles compute_cycles)
+{
+    out << "P " << (name.empty() ? std::string_view{"-"} : name) << ' '
+        << compute_cycles << '\n';
+}
+
+/** Serialize one access line — shared by every writer. */
+void
+writeAccessLine(std::ostream &out, const core::LogicalAccess &acc)
+{
+    out << "A " << (acc.type == AccessType::Write ? 'w' : 'r') << ' '
+        << std::hex << acc.addr << std::dec << ' ' << acc.bytes << ' '
+        << classToken(acc.cls) << ' ' << std::hex << acc.vn << std::dec
+        << ' ' << acc.macGranularity << '\n';
+}
+
+/**
+ * Incremental line-by-line parser shared by the materializing reader
+ * and the streaming FilePhaseSource: accumulates the open phase in a
+ * reused scratch buffer and reports when a phase completed (the next
+ * "P" line arrived, or input ended).
+ */
+class TraceParser
+{
+  public:
+    /**
+     * Parse one line. Returns true when the *previous* phase was
+     * completed by this line, in which case it is available via
+     * completed() until the next feed()/finish() call. Fatal on
+     * malformed lines (with the line number).
+     */
+    bool
+    feed(const std::string &line)
+    {
+        ++lineNo_;
+        if (line.empty() || line[0] == '#')
+            return false;
+        std::istringstream ss(line);
+        std::string tag;
+        ss >> tag;
+        if (tag == "P") {
+            // The incoming header closes the previous phase: move it
+            // to the completed slot and start accumulating the new one.
+            bool emitted = false;
+            if (open_) {
+                std::swap(scratch_, completed_);
+                emitted = true;
+            }
+            scratch_.name.clear();
+            scratch_.accesses.clear();
+            ss >> scratch_.name >> scratch_.computeCycles;
+            if (ss.fail())
+                fatal("trace line %u: malformed phase header", lineNo_);
+            if (scratch_.name == "-")
+                scratch_.name.clear();
+            open_ = true;
+            return emitted;
+        }
+        if (tag == "A") {
+            if (!open_)
+                fatal("trace line %u: access before any phase",
+                      lineNo_);
+            char rw = 0;
+            std::string cls;
+            core::LogicalAccess acc;
+            ss >> rw >> std::hex >> acc.addr >> std::dec >> acc.bytes >>
+                cls >> std::hex >> acc.vn >> std::dec >>
+                acc.macGranularity;
+            if (ss.fail() || (rw != 'r' && rw != 'w'))
+                fatal("trace line %u: malformed access", lineNo_);
+            acc.type = rw == 'w' ? AccessType::Write : AccessType::Read;
+            acc.cls = classFromToken(cls, lineNo_);
+            scratch_.accesses.push_back(acc);
+            return false;
+        }
+        fatal("trace line %u: unknown record '%s'", lineNo_,
+              tag.c_str());
+    }
+
+    /** End of input: returns true if a final phase is available. */
+    bool
+    finish()
+    {
+        if (!open_)
+            return false;
+        std::swap(scratch_, completed_);
+        open_ = false;
+        return true;
+    }
+
+    const core::Phase &completed() const { return completed_; }
+
+  private:
+    core::Phase scratch_;   ///< the phase currently being accumulated
+    core::Phase completed_; ///< the last fully parsed phase
+    bool open_ = false;
+    unsigned lineNo_ = 0;
+};
+
 } // namespace
 
 void
 writeTrace(const core::Trace &trace, std::ostream &out)
 {
     for (const auto &phase : trace) {
-        out << "P " << (phase.name.empty() ? std::string_view{"-"}
-                                           : phase.name)
-            << ' '
-            << phase.computeCycles << '\n';
-        for (const auto &acc : phase.accesses) {
-            out << "A " << (acc.type == AccessType::Write ? 'w' : 'r')
-                << ' ' << std::hex << acc.addr << std::dec << ' '
-                << acc.bytes << ' ' << classToken(acc.cls) << ' '
-                << std::hex << acc.vn << std::dec << ' '
-                << acc.macGranularity << '\n';
-        }
+        writePhaseHeader(out, phase.name, phase.computeCycles);
+        for (const auto &acc : phase.accesses)
+            writeAccessLine(out, acc);
     }
 }
 
@@ -67,44 +161,13 @@ core::Trace
 readTrace(std::istream &in)
 {
     core::Trace trace;
+    TraceParser parser;
     std::string line;
-    unsigned line_no = 0;
-    while (std::getline(in, line)) {
-        ++line_no;
-        if (line.empty() || line[0] == '#')
-            continue;
-        std::istringstream ss(line);
-        std::string tag;
-        ss >> tag;
-        if (tag == "P") {
-            core::Phase phase;
-            ss >> phase.name >> phase.computeCycles;
-            if (ss.fail())
-                fatal("trace line %u: malformed phase header", line_no);
-            if (phase.name == "-")
-                phase.name.clear();
-            trace.push_back(phase);
-        } else if (tag == "A") {
-            if (trace.empty())
-                fatal("trace line %u: access before any phase",
-                      line_no);
-            char rw = 0;
-            std::string cls;
-            core::LogicalAccess acc;
-            ss >> rw >> std::hex >> acc.addr >> std::dec >> acc.bytes >>
-                cls >> std::hex >> acc.vn >> std::dec >>
-                acc.macGranularity;
-            if (ss.fail() || (rw != 'r' && rw != 'w'))
-                fatal("trace line %u: malformed access", line_no);
-            acc.type =
-                rw == 'w' ? AccessType::Write : AccessType::Read;
-            acc.cls = classFromToken(cls, line_no);
-            trace.appendAccess(acc);
-        } else {
-            fatal("trace line %u: unknown record '%s'", line_no,
-                  tag.c_str());
-        }
-    }
+    while (std::getline(in, line))
+        if (parser.feed(line))
+            trace.push_back(parser.completed());
+    if (parser.finish())
+        trace.push_back(parser.completed());
     return trace;
 }
 
@@ -124,38 +187,164 @@ readTraceFile(const std::string &path)
     return readTrace(in);
 }
 
+// ---------------------------------------------------------------------------
+// Streaming writers
+// ---------------------------------------------------------------------------
+
+void
+TraceWriteSink::consume(const core::Phase &phase)
+{
+    writePhaseHeader(*out_, phase.name, phase.computeCycles);
+    for (const auto &acc : phase.accesses) {
+        writeAccessLine(*out_, acc);
+        dataBytes_ += acc.bytes;
+    }
+    ++phases_;
+}
+
+struct TraceFileWriteSink::Impl
+{
+    std::string path;
+    std::string tmp;
+    std::ofstream out;
+    bool finished = false;
+    u64 phases = 0;
+    u64 dataBytes = 0;
+};
+
+TraceFileWriteSink::TraceFileWriteSink(const std::string &path)
+    : impl_(std::make_unique<Impl>())
+{
+    // The pid makes the temporary unique across processes sharing a
+    // cache directory; rename() at finish() then publishes the
+    // complete file atomically, so readers see either nothing or a
+    // whole trace.
+    impl_->path = path;
+    impl_->tmp = path + ".tmp." + std::to_string(::getpid());
+    impl_->out.open(impl_->tmp);
+    if (!impl_->out)
+        fatal("cannot write trace file '%s'", impl_->tmp.c_str());
+}
+
+TraceFileWriteSink::~TraceFileWriteSink()
+{
+    if (impl_->finished)
+        return;
+    // Abandoned (or failed) write: never leave partial temporaries
+    // behind in a shared cache directory.
+    impl_->out.close();
+    std::error_code ignored;
+    std::filesystem::remove(impl_->tmp, ignored);
+}
+
+void
+TraceFileWriteSink::consume(const core::Phase &phase)
+{
+    writePhaseHeader(impl_->out, phase.name, phase.computeCycles);
+    for (const auto &acc : phase.accesses) {
+        writeAccessLine(impl_->out, acc);
+        impl_->dataBytes += acc.bytes;
+    }
+    ++impl_->phases;
+}
+
+u64
+TraceFileWriteSink::phases() const
+{
+    return impl_->phases;
+}
+
+u64
+TraceFileWriteSink::dataBytes() const
+{
+    return impl_->dataBytes;
+}
+
+void
+TraceFileWriteSink::finish()
+{
+    const auto failCleanup = [this] {
+        std::error_code ignored;
+        std::filesystem::remove(impl_->tmp, ignored);
+    };
+    if (!impl_->out.flush()) {
+        impl_->out.close();
+        failCleanup();
+        fatal("short write to trace file '%s'", impl_->tmp.c_str());
+    }
+    impl_->out.close();
+    std::error_code ec;
+    std::filesystem::rename(impl_->tmp, impl_->path, ec);
+    if (ec) {
+        failCleanup();
+        fatal("cannot publish trace file '%s': %s",
+              impl_->path.c_str(), ec.message().c_str());
+    }
+    impl_->finished = true;
+}
+
 void
 writeTraceFile(const core::Trace &trace, const std::string &path)
 {
-    // The pid makes the temporary unique across processes sharing a
-    // cache directory; rename() then publishes the complete file
-    // atomically, so readers see either nothing or a whole trace.
-    const std::string tmp =
-        path + ".tmp." + std::to_string(::getpid());
-    // Failed writes must not leave partial temporaries behind in a
-    // shared cache directory, so every error path unlinks tmp first.
-    const auto failCleanup = [&tmp] {
-        std::error_code ignored;
-        std::filesystem::remove(tmp, ignored);
-    };
-    {
-        std::ofstream out(tmp);
-        if (!out)
-            fatal("cannot write trace file '%s'", tmp.c_str());
-        writeTrace(trace, out);
-        if (!out.flush()) {
-            out.close();
-            failCleanup();
-            fatal("short write to trace file '%s'", tmp.c_str());
+    TraceFileWriteSink sink(path);
+    core::TracePhaseSource source(trace);
+    source.drainTo(sink);
+    sink.finish();
+}
+
+// ---------------------------------------------------------------------------
+// Streaming reader
+// ---------------------------------------------------------------------------
+
+struct FilePhaseSource::Impl
+{
+    std::ifstream in;
+    TraceParser parser;
+    std::string line;
+    bool eof = false;
+};
+
+FilePhaseSource::FilePhaseSource(const std::string &path)
+    : impl_(std::make_unique<Impl>())
+{
+    impl_->in.open(path);
+    if (!impl_->in)
+        fatal("cannot read trace file '%s'", path.c_str());
+}
+
+FilePhaseSource::FilePhaseSource(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl))
+{
+}
+
+std::unique_ptr<FilePhaseSource>
+FilePhaseSource::openIfReadable(const std::string &path)
+{
+    auto impl = std::make_unique<Impl>();
+    impl->in.open(path);
+    if (!impl->in)
+        return nullptr;
+    return std::unique_ptr<FilePhaseSource>(
+        new FilePhaseSource(std::move(impl)));
+}
+
+FilePhaseSource::~FilePhaseSource() = default;
+
+bool
+FilePhaseSource::nextChunk(core::PhaseSink &sink)
+{
+    if (impl_->eof)
+        return false;
+    while (std::getline(impl_->in, impl_->line)) {
+        if (impl_->parser.feed(impl_->line)) {
+            sink.consume(impl_->parser.completed());
+            return true;
         }
     }
-    std::error_code ec;
-    std::filesystem::rename(tmp, path, ec);
-    if (ec) {
-        failCleanup();
-        fatal("cannot publish trace file '%s': %s", path.c_str(),
-              ec.message().c_str());
-    }
+    impl_->eof = true;
+    if (impl_->parser.finish())
+        sink.consume(impl_->parser.completed());
+    return false;
 }
 
 } // namespace mgx::sim

@@ -8,15 +8,25 @@
  *
  *   P <name> <computeCycles>
  *   A <r|w> <addr-hex> <bytes> <class> <vn-hex> <macGran>
+ *
+ * Both directions stream: TraceWriteSink / TraceFileWriteSink are
+ * PhaseSinks that serialize phases as a producer emits them (so a
+ * kernel stream can be archived without materializing), and
+ * FilePhaseSource replays a serialized trace as a pull-based
+ * PhaseSource holding one phase in memory at a time. The
+ * whole-trace read/write functions are thin wrappers over the same
+ * line format, so the two paths cannot drift.
  */
 
 #ifndef MGX_SIM_TRACE_IO_H
 #define MGX_SIM_TRACE_IO_H
 
 #include <iosfwd>
+#include <memory>
 #include <string>
 
 #include "core/phase.h"
+#include "core/phase_stream.h"
 
 namespace mgx::sim {
 
@@ -46,6 +56,84 @@ core::Trace readTraceFile(const std::string &path);
  * errors.
  */
 void writeTraceFile(const core::Trace &trace, const std::string &path);
+
+/** PhaseSink that serializes each consumed phase to a stream. */
+class TraceWriteSink final : public core::PhaseSink
+{
+  public:
+    explicit TraceWriteSink(std::ostream &out) : out_(&out) {}
+
+    void consume(const core::Phase &phase) override;
+
+    u64 phases() const { return phases_; }
+    u64 dataBytes() const { return dataBytes_; }
+
+  private:
+    std::ostream *out_;
+    u64 phases_ = 0;
+    u64 dataBytes_ = 0;
+};
+
+/**
+ * Streaming equivalent of writeTraceFile(): consumes phases into a
+ * process-unique temporary and publishes it at @p path by atomic
+ * rename when finish() is called. Destroying the sink without
+ * finish() discards the temporary (abandoned write). Fatal on IO
+ * errors.
+ */
+class TraceFileWriteSink final : public core::PhaseSink
+{
+  public:
+    explicit TraceFileWriteSink(const std::string &path);
+    ~TraceFileWriteSink() override;
+
+    TraceFileWriteSink(const TraceFileWriteSink &) = delete;
+    TraceFileWriteSink &operator=(const TraceFileWriteSink &) = delete;
+
+    void consume(const core::Phase &phase) override;
+
+    /** Flush and atomically publish the file. Call exactly once. */
+    void finish();
+
+    u64 phases() const;
+    u64 dataBytes() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/**
+ * Pull-based reader of a serialized trace: emits one phase per
+ * nextChunk() through a reused scratch buffer, so replaying a
+ * trace file needs memory for one phase, not the workload. Fatal on
+ * open failure and on malformed input (with the line number), like
+ * readTraceFile.
+ */
+class FilePhaseSource final : public core::PhaseSource
+{
+  public:
+    explicit FilePhaseSource(const std::string &path);
+    ~FilePhaseSource() override;
+
+    /**
+     * Non-fatal variant: nullptr when @p path cannot be opened — for
+     * callers with a fallback (e.g. a shared trace cache whose file a
+     * concurrent process may have evicted between the existence check
+     * and the replay).
+     */
+    static std::unique_ptr<FilePhaseSource>
+    openIfReadable(const std::string &path);
+
+    bool nextChunk(core::PhaseSink &sink) override;
+
+  private:
+    struct Impl;
+
+    explicit FilePhaseSource(std::unique_ptr<Impl> impl);
+
+    std::unique_ptr<Impl> impl_;
+};
 
 } // namespace mgx::sim
 

@@ -16,7 +16,11 @@
  *                         4 otherwise), vector=seq|random, scale=N,
  *                         seed=N
  *   genome/<workload>     the nine chr{1,X,Y}{PacBio,ONT2D,ONT1D}
- *                         GACT workloads; params: reads=N
+ *                         GACT workloads; params: reads=N. The bare
+ *                         chromosome names chr1 / chrX / chrY are
+ *                         whole-chromosome PacBio runs: reads defaults
+ *                         to ~1x coverage (referenceBases / readLen)
+ *                         instead of the figure subset of 64
  *   video/h264            IBPB decode; params: frames=N, width=N,
  *                         height=N, gop=N
  *   core/matmul           Fig. 4's tiled MatMul; params: m=N, n=N,
@@ -76,6 +80,18 @@ Platform defaultPlatform(const std::string &name);
  * via makeKernel() and generates a non-empty trace.
  */
 std::vector<std::string> listWorkloads();
+
+/**
+ * One deliberately oversized workload per domain — the paper's
+ * full-scale inputs (whole-chromosome alignment, unscaled graphs,
+ * large-batch training, long high-resolution video, deeply tiled
+ * MatMul). These are ordinary registry names, but they are kept out
+ * of listWorkloads() (and so out of `--all` and the golden grids)
+ * because materializing them costs O(workload) memory: they are meant
+ * for the streaming path, where replay memory stays bounded by one
+ * phase (RunResult::peakPhaseBytes).
+ */
+std::vector<std::string> listScaledWorkloads();
 
 } // namespace mgx::sim
 

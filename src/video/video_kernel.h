@@ -22,10 +22,11 @@ class VideoKernel : public core::Kernel
     std::string name() const override { return "h264-decode"; }
 
     /**
-     * One generate() call decodes one bitstream (CTR_IN increments),
-     * emitting per-frame phases: reference reads then the output write.
+     * One stream()/generate() call decodes one bitstream (CTR_IN
+     * increments), emitting per-frame phases: reference reads then
+     * the output write. The stream produces one frame per chunk.
      */
-    core::Trace generate() override;
+    std::unique_ptr<core::PhaseSource> stream() override;
 
     /** VN for (this bitstream, display frame @p f) — the Fig. 19 rule. */
     Vn frameVn(u32 f) const;
@@ -36,6 +37,8 @@ class VideoKernel : public core::Kernel
     const VideoConfig &config() const { return config_; }
 
   private:
+    class Source; // the streaming producer (video_kernel.cc)
+
     VideoConfig config_;
     Addr bufferBase_ = 2ull << 30;
 };

@@ -229,6 +229,7 @@ TEST(Report, JsonGolden)
     np.dramAccesses = 64;
     np.logicalAccesses = 2;
     np.traceBytes = 512;
+    np.peakPhaseBytes = 256;
     np.seconds = 0.5;
 
     RunResult mgx = np;
@@ -253,7 +254,7 @@ TEST(Report, JsonGolden)
         "     \"cycles\": 1000, \"computeCycles\": 600, "
         "\"memoryCycles\": 800, \"seconds\": 0.5, "
         "\"dramAccesses\": 64, \"logicalAccesses\": 2, "
-        "\"traceBytes\": 512,\n"
+        "\"traceBytes\": 512, \"peakPhaseBytes\": 256,\n"
         "     \"metaCache\": {\"hits\": 0, \"misses\": 0, "
         "\"writebacks\": 0},\n"
         "     \"traffic\": {\"data\": 4096, \"expand\": 0, \"mac\": 0, "
@@ -264,7 +265,7 @@ TEST(Report, JsonGolden)
         "     \"cycles\": 1030, \"computeCycles\": 600, "
         "\"memoryCycles\": 800, \"seconds\": 0.5, "
         "\"dramAccesses\": 66, \"logicalAccesses\": 2, "
-        "\"traceBytes\": 512,\n"
+        "\"traceBytes\": 512, \"peakPhaseBytes\": 256,\n"
         "     \"metaCache\": {\"hits\": 7, \"misses\": 3, "
         "\"writebacks\": 1},\n"
         "     \"traffic\": {\"data\": 4096, \"expand\": 64, "

@@ -1,0 +1,456 @@
+/**
+ * @file
+ * Streaming-pipeline tests: streamed-vs-materialized bitwise
+ * equivalence for all five domains (cycles, traffic, metaCache
+ * counters), the PhaseSource chunk-boundary property (results
+ * invariant under chunk size 1 / 64 / infinity), streaming trace-file
+ * round trips, the trace-cache LRU eviction policy, and the scaled
+ * streaming-only workload registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <set>
+
+#include "core/phase_stream.h"
+#include "sim/experiment.h"
+#include "sim/trace_io.h"
+#include "sim/workload_registry.h"
+
+namespace mgx::sim {
+namespace {
+
+namespace fs = std::filesystem;
+
+using protection::ProtectionConfig;
+using protection::ProtectionEngine;
+using protection::Scheme;
+
+/** One small, fast workload per domain. */
+const char *const kDomainWorkloads[] = {
+    "core/matmul?m=256&n=256&k=256",
+    "dnn/MobileNet?task=training",
+    "graph/google-plus/pagerank?vector=random",
+    "genome/chr1PacBio?reads=8",
+    "video/h264?frames=6",
+};
+
+RunResult
+runMaterialized(const std::string &workload, Scheme scheme)
+{
+    const Platform platform = defaultPlatform(workload);
+    core::Trace trace = makeKernel(workload, platform)->generate();
+    dram::DramSystem dram(platform.dram);
+    ProtectionConfig cfg;
+    cfg.scheme = scheme;
+    ProtectionEngine engine(cfg, &dram);
+    PerfModel model(&engine, platform.clockMhz);
+    return model.run(trace);
+}
+
+RunResult
+runStreamed(const std::string &workload, Scheme scheme)
+{
+    const Platform platform = defaultPlatform(workload);
+    dram::DramSystem dram(platform.dram);
+    ProtectionConfig cfg;
+    cfg.scheme = scheme;
+    ProtectionEngine engine(cfg, &dram);
+    PerfModel model(&engine, platform.clockMhz);
+    auto kernel = makeKernel(workload, platform);
+    auto source = kernel->stream();
+    return model.run(*source);
+}
+
+/** Every model output must match; the footprint fields may not. */
+void
+expectModelOutputsEqual(const RunResult &a, const RunResult &b,
+                        const std::string &label)
+{
+    EXPECT_EQ(a.totalCycles, b.totalCycles) << label;
+    EXPECT_EQ(a.computeCycles, b.computeCycles) << label;
+    EXPECT_EQ(a.memoryCycles, b.memoryCycles) << label;
+    EXPECT_EQ(a.traffic.dataBytes, b.traffic.dataBytes) << label;
+    EXPECT_EQ(a.traffic.expandBytes, b.traffic.expandBytes) << label;
+    EXPECT_EQ(a.traffic.macBytes, b.traffic.macBytes) << label;
+    EXPECT_EQ(a.traffic.vnBytes, b.traffic.vnBytes) << label;
+    EXPECT_EQ(a.traffic.treeBytes, b.traffic.treeBytes) << label;
+    EXPECT_EQ(a.dramAccesses, b.dramAccesses) << label;
+    EXPECT_EQ(a.logicalAccesses, b.logicalAccesses) << label;
+    EXPECT_EQ(a.metaCacheHits, b.metaCacheHits) << label;
+    EXPECT_EQ(a.metaCacheMisses, b.metaCacheMisses) << label;
+    EXPECT_EQ(a.metaCacheWritebacks, b.metaCacheWritebacks) << label;
+    EXPECT_EQ(a.seconds, b.seconds) << label;
+}
+
+// ---------------------------------------------------------------------
+// Streamed vs materialized equivalence
+// ---------------------------------------------------------------------
+
+TEST(Streaming, StreamIntoArenaEqualsGenerate)
+{
+    // generate() is literally "stream into an arena", so a manual
+    // drain of a fresh kernel must serialize identically.
+    for (const char *workload : kDomainWorkloads) {
+        core::Trace generated = makeKernel(workload)->generate();
+        core::Trace drained;
+        core::TraceBuildSink sink(drained);
+        makeKernel(workload)->stream()->drainTo(sink);
+        EXPECT_EQ(traceToString(generated), traceToString(drained))
+            << workload;
+    }
+}
+
+TEST(Streaming, StreamedReplayMatchesMaterializedAllDomains)
+{
+    // BP exercises the metadata cache (hits/misses/writebacks) and
+    // MGX the VN expansion path; both must be bitwise-identical
+    // between the two replay paths in every domain.
+    for (const char *workload : kDomainWorkloads) {
+        for (Scheme scheme : {Scheme::NP, Scheme::MGX, Scheme::BP}) {
+            const RunResult mat = runMaterialized(workload, scheme);
+            const RunResult str = runStreamed(workload, scheme);
+            expectModelOutputsEqual(
+                mat, str,
+                std::string(workload) + "/" +
+                    protection::schemeName(scheme));
+            // The streamed peak must be genuinely bounded: far below
+            // holding the whole trace (phase count >> 1 here), and
+            // by construction never above the cumulative stream.
+            EXPECT_GT(str.peakPhaseBytes, 0u) << workload;
+            EXPECT_LE(str.peakPhaseBytes, str.traceBytes) << workload;
+            EXPECT_LT(str.peakPhaseBytes, mat.peakPhaseBytes)
+                << workload;
+        }
+    }
+}
+
+TEST(Streaming, ExperimentStreamedAndMaterializedGridsMatch)
+{
+    const std::string w = "core/matmul?m=256&n=256&k=256";
+    auto grid = [&](bool streaming) {
+        return Experiment()
+            .workload(w)
+            .platform(edgePlatform())
+            .schemes(allSchemes())
+            .streaming(streaming)
+            .run();
+    };
+    ResultSet streamed = grid(true);
+    ResultSet materialized = grid(false);
+    ASSERT_EQ(streamed.records().size(), materialized.records().size());
+    for (std::size_t i = 0; i < streamed.records().size(); ++i)
+        expectModelOutputsEqual(streamed.records()[i].result,
+                                materialized.records()[i].result,
+                                "grid cell " + std::to_string(i));
+}
+
+// ---------------------------------------------------------------------
+// Chunk-boundary property
+// ---------------------------------------------------------------------
+
+TEST(Streaming, ResultsInvariantUnderChunkSize)
+{
+    const std::string w = "core/matmul?m=256&n=256&k=256";
+    core::Trace trace = makeKernel(w)->generate();
+    const Platform platform = defaultPlatform(w);
+
+    auto replayChunked = [&](std::size_t chunk) {
+        dram::DramSystem dram(platform.dram);
+        ProtectionConfig cfg;
+        cfg.scheme = Scheme::BP;
+        ProtectionEngine engine(cfg, &dram);
+        PerfModel model(&engine, platform.clockMhz);
+        core::TracePhaseSource source(trace, chunk);
+        return model.run(source);
+    };
+
+    const RunResult one = replayChunked(1);
+    const RunResult sixtyFour = replayChunked(64);
+    const RunResult unbounded = replayChunked(trace.size() + 1);
+    expectModelOutputsEqual(one, sixtyFour, "chunk 1 vs 64");
+    expectModelOutputsEqual(one, unbounded, "chunk 1 vs unbounded");
+
+    // And the chunked stream rebuilds the identical trace.
+    for (std::size_t chunk : {std::size_t{1}, std::size_t{64},
+                              trace.size() + 1}) {
+        core::Trace rebuilt;
+        core::TraceBuildSink sink(rebuilt);
+        core::TracePhaseSource(trace, chunk).drainTo(sink);
+        EXPECT_EQ(traceToString(trace), traceToString(rebuilt))
+            << "chunk " << chunk;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Streaming trace files
+// ---------------------------------------------------------------------
+
+TEST(Streaming, FileRoundTripMatchesMaterializedWriter)
+{
+    const fs::path dir =
+        fs::temp_directory_path() / "mgx_stream_io_test";
+    fs::create_directories(dir);
+    const std::string via_trace = (dir / "materialized.trace").string();
+    const std::string via_stream = (dir / "streamed.trace").string();
+
+    const std::string w = "video/h264?frames=6";
+    core::Trace trace = makeKernel(w)->generate();
+    writeTraceFile(trace, via_trace);
+
+    // Stream a fresh kernel straight to disk: byte-identical file.
+    auto kernel = makeKernel(w);
+    TraceFileWriteSink sink(via_stream);
+    kernel->stream()->drainTo(sink);
+    sink.finish();
+
+    std::ifstream a(via_trace), b(via_stream);
+    std::string file_a((std::istreambuf_iterator<char>(a)),
+                       std::istreambuf_iterator<char>());
+    std::string file_b((std::istreambuf_iterator<char>(b)),
+                       std::istreambuf_iterator<char>());
+    EXPECT_FALSE(file_a.empty());
+    EXPECT_EQ(file_a, file_b);
+
+    // Pull-based reading rebuilds the identical trace...
+    core::Trace rebuilt;
+    core::TraceBuildSink build(rebuilt);
+    FilePhaseSource(via_stream).drainTo(build);
+    EXPECT_EQ(traceToString(trace), traceToString(rebuilt));
+
+    // ...and replays bitwise-identically to the materialized path.
+    const Platform platform = defaultPlatform(w);
+    dram::DramSystem dram_a(platform.dram);
+    ProtectionConfig cfg;
+    cfg.scheme = Scheme::BP;
+    ProtectionEngine engine_a(cfg, &dram_a);
+    PerfModel model_a(&engine_a, platform.clockMhz);
+    const RunResult mat = model_a.run(trace);
+
+    dram::DramSystem dram_b(platform.dram);
+    ProtectionEngine engine_b(cfg, &dram_b);
+    PerfModel model_b(&engine_b, platform.clockMhz);
+    FilePhaseSource source(via_stream);
+    const RunResult str = model_b.run(source);
+    expectModelOutputsEqual(mat, str, "file replay");
+
+    fs::remove_all(dir);
+}
+
+TEST(Streaming, AbandonedFileWriteLeavesNothingBehind)
+{
+    const fs::path dir =
+        fs::temp_directory_path() / "mgx_stream_abandon_test";
+    fs::create_directories(dir);
+    {
+        TraceFileWriteSink sink((dir / "never.trace").string());
+        core::Phase p;
+        p.name = "p0";
+        p.accesses.push_back(
+            {0, 64, 1, AccessType::Write, DataClass::Generic, 0});
+        sink.consume(p);
+        // no finish(): the write is abandoned
+    }
+    EXPECT_TRUE(fs::is_empty(dir));
+    fs::remove_all(dir);
+}
+
+TEST(StreamingDeathTest, MalformedFilesAreFatalWithLineNumbers)
+{
+    const fs::path dir =
+        fs::temp_directory_path() / "mgx_stream_bad_test";
+    fs::create_directories(dir);
+    const std::string path = (dir / "bad.trace").string();
+    {
+        std::ofstream out(path);
+        out << "P p0 1\nA r 0 64 nonsense 1 0\n";
+    }
+    class NullSink final : public core::PhaseSink
+    {
+        void consume(const core::Phase &) override {}
+    };
+    EXPECT_DEATH(
+        {
+            NullSink sink;
+            FilePhaseSource(path).drainTo(sink);
+        },
+        "trace line 2: unknown data class");
+    EXPECT_DEATH(FilePhaseSource("/nonexistent/nope.trace"),
+                 "cannot read trace file");
+    fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------
+// Trace-cache LRU eviction
+// ---------------------------------------------------------------------
+
+/** Make a cache-like file of @p bytes with an mtime @p age_s ago. */
+void
+makeCacheFile(const fs::path &path, std::size_t bytes, int age_s)
+{
+    std::ofstream out(path);
+    out << std::string(bytes, 'x');
+    out.close();
+    fs::last_write_time(path, fs::file_time_type::clock::now() -
+                                  std::chrono::seconds(age_s));
+}
+
+TEST(TraceCacheEviction, OldestFilesGoFirstAndCapIsRespected)
+{
+    const fs::path dir =
+        fs::temp_directory_path() / "mgx_evict_order_test";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    makeCacheFile(dir / "old.trace", 100, 300);
+    makeCacheFile(dir / "mid.trace", 100, 200);
+    makeCacheFile(dir / "new.trace", 100, 100);
+    makeCacheFile(dir / "unrelated.json", 100, 400); // never touched
+
+    // Cap fits two trace files: only the oldest is evicted.
+    EXPECT_EQ(enforceTraceCacheLimit(dir.string(), 200), 1u);
+    EXPECT_FALSE(fs::exists(dir / "old.trace"));
+    EXPECT_TRUE(fs::exists(dir / "mid.trace"));
+    EXPECT_TRUE(fs::exists(dir / "new.trace"));
+    EXPECT_TRUE(fs::exists(dir / "unrelated.json"));
+
+    // Cap of zero clears every .trace file, nothing else.
+    EXPECT_EQ(enforceTraceCacheLimit(dir.string(), 0), 2u);
+    EXPECT_FALSE(fs::exists(dir / "mid.trace"));
+    EXPECT_FALSE(fs::exists(dir / "new.trace"));
+    EXPECT_TRUE(fs::exists(dir / "unrelated.json"));
+
+    // Under the cap: nothing to do. Missing dir: tolerated.
+    EXPECT_EQ(enforceTraceCacheLimit(dir.string(), 1 << 20), 0u);
+    fs::remove_all(dir);
+    EXPECT_EQ(enforceTraceCacheLimit(dir.string(), 0), 0u);
+}
+
+TEST(TraceCacheEviction, HitsTouchTheFileSoLruKeepsHotTraces)
+{
+    const fs::path dir =
+        fs::temp_directory_path() / "mgx_evict_touch_test";
+    fs::remove_all(dir);
+
+    const std::string hot = "core/matmul?m=64&n=64&k=64";
+    const std::string cold = "video/h264?frames=2";
+    auto runOne = [&](const std::string &w) {
+        Experiment()
+            .workload(w)
+            .schemes({Scheme::NP})
+            .traceCacheDir(dir.string())
+            .run();
+    };
+    runOne(hot);
+    runOne(cold);
+
+    // Age both files, then hit only the hot one: the hit must refresh
+    // its mtime so eviction prefers the cold file despite the cold
+    // file being written later.
+    std::vector<fs::path> files;
+    for (const auto &e : fs::directory_iterator(dir))
+        files.push_back(e.path());
+    ASSERT_EQ(files.size(), 2u);
+    for (const auto &f : files)
+        fs::last_write_time(f, fs::file_time_type::clock::now() -
+                                   std::chrono::hours(1));
+    ResultSet rs = Experiment()
+                       .workload(hot)
+                       .schemes({Scheme::NP})
+                       .traceCacheDir(dir.string())
+                       .run();
+    EXPECT_EQ(rs.traceCacheHits(), 1u);
+    EXPECT_EQ(rs.traceCacheMisses(), 0u);
+
+    // Cap that only fits one file: the untouched (cold) one goes.
+    u64 hot_bytes = 0;
+    for (const auto &e : fs::directory_iterator(dir))
+        hot_bytes = std::max<u64>(hot_bytes, fs::file_size(e));
+    EXPECT_EQ(enforceTraceCacheLimit(dir.string(), hot_bytes), 1u);
+    ASSERT_EQ(std::distance(fs::directory_iterator(dir),
+                            fs::directory_iterator{}),
+              1);
+    // The survivor still replays the hot workload from cache.
+    ResultSet again = Experiment()
+                          .workload(hot)
+                          .schemes({Scheme::NP})
+                          .traceCacheDir(dir.string())
+                          .run();
+    EXPECT_EQ(again.traceCacheHits(), 1u);
+    fs::remove_all(dir);
+}
+
+TEST(TraceCacheEviction, ExperimentAppliesTheCapAfterTheRun)
+{
+    const fs::path dir =
+        fs::temp_directory_path() / "mgx_evict_cap_test";
+    fs::remove_all(dir);
+    ResultSet rs = Experiment()
+                       .workloads({"core/matmul?m=64&n=64&k=64",
+                                   "video/h264?frames=2"})
+                       .schemes({Scheme::NP})
+                       .traceCacheDir(dir.string())
+                       .traceCacheMaxBytes(1) // evicts everything
+                       .run();
+    EXPECT_EQ(rs.traceCacheMisses(), 2u);
+    EXPECT_EQ(std::distance(fs::directory_iterator(dir),
+                            fs::directory_iterator{}),
+              0);
+    fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------
+// Scaled streaming-only workloads
+// ---------------------------------------------------------------------
+
+TEST(ScaledWorkloads, OnePerDomainAndAllConstructAndStream)
+{
+    const auto scaled = listScaledWorkloads();
+    ASSERT_EQ(scaled.size(), 5u);
+
+    // Not part of the canonical list (they would blow up --all and
+    // every materializing consumer).
+    const auto canonical = listWorkloads();
+    std::set<std::string> domains;
+    for (const auto &name : scaled) {
+        EXPECT_EQ(std::count(canonical.begin(), canonical.end(), name),
+                  0)
+            << name;
+        domains.insert(name.substr(0, name.find('/')));
+
+        // Constructing and pulling the first chunks must be cheap —
+        // that is the whole point of the streaming path.
+        auto kernel = makeKernel(name);
+        ASSERT_NE(kernel, nullptr) << name;
+        core::Trace head;
+        core::TraceBuildSink sink(head);
+        auto source = kernel->stream();
+        for (int i = 0; i < 3 && source->nextChunk(sink); ++i) {
+        }
+        EXPECT_FALSE(head.empty()) << name;
+    }
+    EXPECT_EQ(domains.size(), 5u); // one per domain
+}
+
+TEST(ScaledWorkloads, WholeChromosomeAliasScalesWithCoverage)
+{
+    // genome/chr1 defaults to ~1x coverage of GRCh38 chr1 — orders of
+    // magnitude more reads than the figure subset — and still honours
+    // an explicit reads= override.
+    auto small = makeKernel("genome/chr1?reads=4");
+    ASSERT_NE(small, nullptr);
+    core::Trace head;
+    core::TraceBuildSink sink(head);
+    auto source = small->stream();
+    while (source->nextChunk(sink)) {
+    }
+    EXPECT_FALSE(head.empty());
+    EXPECT_EQ(makeKernel("genome/chr1")->name(), "chr1PacBio");
+}
+
+} // namespace
+} // namespace mgx::sim
