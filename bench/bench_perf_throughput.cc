@@ -26,9 +26,9 @@
  * JSON schema "mgx-bench-v1": {schema, bench, unit,
  *   calibration: {aesBlocksPerSecond, blocks, wallSeconds, checksum},
  *   results:[
- *   {workload, platform, scheme, linesPerSecond, wallSeconds,
- *    replays, linesPerReplay, cyclesPerReplay, traceBytes,
- *    tracePhases}]}
+ *   {workload, platform, scheme, mode (replay|stream|pipeline),
+ *    linesPerSecond, wallSeconds, replays, linesPerReplay,
+ *    cyclesPerReplay, traceBytes, tracePhases}]}
  */
 
 #include <chrono>
@@ -40,6 +40,7 @@
 
 #include "crypto/aes128.h"
 #include "sim/experiment.h"
+#include "sim/pipeline.h"
 #include "sim/report.h"
 #include "sim/workload_registry.h"
 
@@ -53,7 +54,13 @@ struct CellResult
     std::string workload;
     std::string platform;
     protection::Scheme scheme = protection::Scheme::NP;
-    bool streamed = false; ///< stream axis: generate+replay per rep
+    /**
+     * Measurement axis: "replay" times the materialized hot path,
+     * "stream" generates + replays serially per rep, "pipeline" runs
+     * the same end-to-end stream with generation and replay on two
+     * threads over the SPSC phase ring (sim/pipeline.h).
+     */
+    const char *mode = "replay";
     double linesPerSecond = 0.0;
     double wallSeconds = 0.0;
     u64 replays = 0;
@@ -110,18 +117,23 @@ measureCalibration()
 /**
  * Stream @p workload end to end (fresh kernel, pull-based replay, no
  * materialized trace) under @p scheme until the budget is spent — the
- * throughput of the streaming pipeline, generation included.
+ * throughput of the streaming pipeline, generation included. With
+ * @p pipelined, generation and replay run on two threads over the
+ * SPSC phase ring instead of interleaving on one — same work, same
+ * results (the self-check still compares cycle counts), different
+ * wall clock on a multi-core host.
  */
 CellResult
 measureStreamedCell(const std::string &workload,
                     const sim::Platform &platform,
-                    protection::Scheme scheme, double min_seconds)
+                    protection::Scheme scheme, double min_seconds,
+                    bool pipelined = false)
 {
     CellResult cell;
     cell.workload = workload;
     cell.platform = platform.name;
     cell.scheme = scheme;
-    cell.streamed = true;
+    cell.mode = pipelined ? "pipeline" : "stream";
 
     protection::ProtectionConfig cfg;
     cfg.scheme = scheme;
@@ -136,7 +148,9 @@ measureStreamedCell(const std::string &workload,
         sim::PerfModel model(&engine, platform.clockMhz);
         auto kernel = sim::makeKernel(workload, platform);
         auto source = kernel->stream();
-        const sim::RunResult r = model.run(*source);
+        const sim::RunResult r = pipelined
+                                     ? sim::runPipelined(model, *source)
+                                     : model.run(*source);
         if (reps == 0) {
             cycles = r.totalCycles;
             lines = dram.accessCount();
@@ -145,8 +159,9 @@ measureStreamedCell(const std::string &workload,
         } else if (cycles != r.totalCycles ||
                    lines != dram.accessCount()) {
             std::fprintf(stderr,
-                         "bench_perf_throughput: streamed rep %llu of "
+                         "bench_perf_throughput: %s rep %llu of "
                          "%s/%s diverged (nondeterministic stream!)\n",
+                         cell.mode,
                          static_cast<unsigned long long>(reps),
                          workload.c_str(),
                          protection::schemeName(scheme));
@@ -237,7 +252,7 @@ writeJson(const std::vector<CellResult> &cells, const Calibration &cal,
         out << (first ? "\n" : ",\n") << "    {\"workload\": \""
             << c.workload << "\", \"platform\": \"" << c.platform
             << "\", \"scheme\": \"" << protection::schemeName(c.scheme)
-            << "\", \"mode\": \"" << (c.streamed ? "stream" : "replay")
+            << "\", \"mode\": \"" << c.mode
             << "\",\n     \"linesPerSecond\": " << num;
         std::snprintf(num, sizeof num, "%.6g", c.wallSeconds);
         out << ", \"wallSeconds\": " << num
@@ -258,10 +273,10 @@ usage(std::FILE *out)
         out,
         "usage: bench_perf_throughput [options]\n"
         "  --set micro|full    workload set (default micro)\n"
-        "                      micro: the tiled-MatMul replay under\n"
-        "                             NP/MGX/BP (materialized and\n"
-        "                             streamed axes), plus genome and\n"
-        "                             video BP cells (the floor)\n"
+        "                      micro: the tiled-MatMul cells under\n"
+        "                             NP/MGX/BP on the replay, stream\n"
+        "                             and pipeline axes, plus genome\n"
+        "                             and video BP cells (the floor)\n"
         "                      full:  + dnn/resnet50 + graph/pokec\n"
         "  --min-seconds S     time budget per cell (default 0.5)\n"
         "  --json FILE         write the mgx-bench-v1 artifact\n"
@@ -275,6 +290,7 @@ struct WorkloadSpec
     const char *workload;
     std::vector<protection::Scheme> schemes;
     std::vector<protection::Scheme> streamedSchemes;
+    std::vector<protection::Scheme> pipelinedSchemes;
 };
 
 /**
@@ -295,14 +311,17 @@ workloadSet(const std::string &set)
     // The MatMul cells also run on the streamed axis (fresh kernel +
     // pull-based replay per rep): the end-to-end throughput of the
     // default mgx_run path, tracked next to the pure-replay numbers.
+    // The pipeline axis repeats the streamed cells over the two-thread
+    // phase ring, so stream-vs-pipeline is a direct wall-clock
+    // comparison of serial and pipelined single-cell replay.
     std::vector<WorkloadSpec> specs = {
-        {"core/matmul?m=256&n=256&k=256", all, all},
-        {"genome/chr1PacBio?reads=2", bp, none},
-        {"video/h264?frames=2", bp, none},
+        {"core/matmul?m=256&n=256&k=256", all, all, all},
+        {"genome/chr1PacBio?reads=2", bp, none, none},
+        {"video/h264?frames=2", bp, none, none},
     };
     if (set == "full") {
-        specs.push_back({"dnn/resnet50?task=inference", all, none});
-        specs.push_back({"graph/pokec/pagerank", all, all});
+        specs.push_back({"dnn/resnet50?task=inference", all, none, none});
+        specs.push_back({"graph/pokec/pagerank", all, all, bp});
     }
     return specs;
 }
@@ -364,15 +383,15 @@ main(int argc, char **argv)
     const auto printCell = [quiet](const CellResult &c) {
         if (quiet)
             return;
-        std::printf("%-34s %-8s %-8s %-7s %14.0f %9llu %8.2f\n",
+        std::printf("%-34s %-8s %-8s %-8s %14.0f %9llu %8.2f\n",
                     c.workload.c_str(), c.platform.c_str(),
                     protection::schemeName(c.scheme),
-                    c.streamed ? "stream" : "replay", c.linesPerSecond,
+                    c.mode, c.linesPerSecond,
                     static_cast<unsigned long long>(c.replays),
                     c.wallSeconds);
     };
     if (!quiet)
-        std::printf("%-34s %-8s %-8s %-7s %14s %9s %8s\n", "workload",
+        std::printf("%-34s %-8s %-8s %-8s %14s %9s %8s\n", "workload",
                     "platform", "scheme", "mode", "lines/sec",
                     "replays", "wall(s)");
     for (const WorkloadSpec &spec : workloadSet(set)) {
@@ -388,6 +407,11 @@ main(int argc, char **argv)
         for (protection::Scheme s : spec.streamedSchemes) {
             cells.push_back(
                 measureStreamedCell(w, platform, s, min_seconds));
+            printCell(cells.back());
+        }
+        for (protection::Scheme s : spec.pipelinedSchemes) {
+            cells.push_back(measureStreamedCell(w, platform, s,
+                                                min_seconds, true));
             printCell(cells.back());
         }
     }

@@ -55,6 +55,18 @@ usage(std::FILE *out)
         "                         streaming pipeline: phases are pulled\n"
         "                         off the kernel or cache file and\n"
         "                         memory stays bounded by one phase\n"
+        "  --pipeline             split every cell's trace generation\n"
+        "                         and replay onto two threads over a\n"
+        "                         bounded SPSC phase ring — bitwise-\n"
+        "                         identical results (only the pipeline\n"
+        "                         stall counters vary run to run)\n"
+        "  --no-pipeline          force serial cells. Default: auto —\n"
+        "                         pipeline only a single-cell grid.\n"
+        "                         --threads N stays a true concurrency\n"
+        "                         cap: a pipelined cell costs two\n"
+        "                         threads (producer + replay), so the\n"
+        "                         pool runs floor(N/2) cells at once,\n"
+        "                         and --threads 1 never pipelines\n"
         "  --json FILE            write the mgx-resultset-v1 artifact\n"
         "  --quiet                suppress the table on stdout\n"
         "  --help                 this message\n"
@@ -111,6 +123,7 @@ main(int argc, char **argv)
     unsigned threads = 0;
     bool quiet = false;
     bool materialize = false;
+    int pipeline = -1; // -1 auto, 0 forced off, 1 forced on
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -183,6 +196,10 @@ main(int argc, char **argv)
             }
         } else if (arg == "--materialize") {
             materialize = true;
+        } else if (arg == "--pipeline") {
+            pipeline = 1;
+        } else if (arg == "--no-pipeline") {
+            pipeline = 0;
         } else if (arg == "--quiet" || arg == "-q") {
             quiet = true;
         } else {
@@ -203,10 +220,18 @@ main(int argc, char **argv)
         return usage(stderr);
     }
 
+    if (pipeline == 1 && materialize) {
+        std::fprintf(stderr, "mgx_run: --pipeline needs the streaming "
+                             "path (drop --materialize)\n");
+        return usage(stderr);
+    }
+
     sim::Experiment experiment;
     experiment.workloads(workloads)
         .threads(threads)
         .streaming(!materialize);
+    if (pipeline != -1)
+        experiment.pipelined(pipeline == 1);
     if (!platforms.empty())
         experiment.platforms(platforms);
     if (!schemes.empty())

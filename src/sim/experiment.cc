@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "common/log.h"
+#include "pipeline.h"
 #include "trace_io.h"
 #include "workload_registry.h"
 
@@ -262,6 +263,20 @@ Experiment::streaming(bool on)
     return *this;
 }
 
+Experiment &
+Experiment::pipelined(bool on)
+{
+    pipelined_ = on;
+    return *this;
+}
+
+Experiment &
+Experiment::pipelineRingCapacity(std::size_t phases)
+{
+    pipelineRingCapacity_ = phases;
+    return *this;
+}
+
 u64
 enforceTraceCacheLimit(const std::string &dir, u64 max_bytes)
 {
@@ -332,6 +347,8 @@ Experiment::run() const
         Platform platform;    ///< platform it is generated for
         std::string cacheKey; ///< traceCacheKey (generated jobs)
         const core::Trace *explicitTrace = nullptr;
+        u32 cellCount = 0;    ///< grid cells consuming this trace
+        bool deferred = false; ///< cache fill happens in phase 2 (tee)
     };
 
     std::vector<Cell> cells;
@@ -372,6 +389,36 @@ Experiment::run() const
                     {&entry, platform, scheme, it->second});
         }
     }
+    for (const Cell &cell : cells)
+        ++jobs[cell.traceJob].cellCount;
+
+    // Resolve the pipelining decision and the thread budget it must
+    // respect. A pipelined cell occupies two threads (producer +
+    // replay), so the pool shrinks to floor(budget / 2) workers —
+    // `threads` stays a true concurrency cap either way — and a
+    // one-thread budget cannot pipeline at all. The automatic default
+    // pipelines only a single-cell grid: with several cells the pool
+    // already uses the budget, and serial cells keep scheduling out
+    // of the results entirely (the pipeline stall counters are the
+    // one nondeterministic RunResult field).
+    const u32 budget =
+        threads_ != 0
+            ? threads_
+            : std::max(1u, std::thread::hardware_concurrency());
+    const bool pipelined =
+        streaming_ && budget >= 2 &&
+        (pipelined_.has_value() ? *pipelined_ : cells.size() == 1);
+    const u32 replayWorkers =
+        pipelined ? std::max(1u, budget / 2) : budget;
+
+    // A cache-missing trace consumed by exactly one pipelined cell
+    // skips phase 1: the cell's producer thread tees phases into the
+    // cache file while the replay consumes them, so the kernel runs
+    // once instead of twice.
+    if (pipelined && !traceCacheDir_.empty())
+        for (TraceJob &job : jobs)
+            job.deferred =
+                job.explicitTrace == nullptr && job.cellCount == 1;
 
     // Phase 1: make each distinct trace available once, in parallel.
     // A fresh kernel per job keeps generation deterministic regardless
@@ -399,9 +446,11 @@ Experiment::run() const
     std::vector<core::Trace> traces(jobs.size());
     std::atomic<u64> cache_hits{0};
     std::atomic<u64> cache_misses{0};
-    parallelFor(jobs.size(), threads_, [&](std::size_t i) {
+    parallelFor(jobs.size(), budget, [&](std::size_t i) {
         if (jobs[i].explicitTrace != nullptr)
             return;
+        if (jobs[i].deferred)
+            return; // phase 2 fills the cache through the tee
         if (traceCacheDir_.empty()) {
             if (!streaming_)
                 traces[i] = makeKernel(jobs[i].name, jobs[i].platform)
@@ -435,9 +484,11 @@ Experiment::run() const
     // Phase 2: simulate every cell on fresh per-cell state. Streamed
     // cells pull phases from the cache file (when caching) or from
     // their own fresh kernel — deterministic either way, so the two
-    // are bitwise-identical on every model output.
+    // are bitwise-identical on every model output. Pipelined runs
+    // consume the identical stream through the SPSC ring and differ
+    // only in the scheduling-dependent pipeline counters.
     std::vector<RunResult> results(cells.size());
-    parallelFor(cells.size(), threads_, [&](std::size_t i) {
+    parallelFor(cells.size(), replayWorkers, [&](std::size_t i) {
         const Cell &cell = cells[i];
         const TraceJob &job = jobs[cell.traceJob];
         dram::DramSystem dram(cell.platform.dram);
@@ -445,6 +496,17 @@ Experiment::run() const
         cfg.scheme = cell.scheme;
         protection::ProtectionEngine engine(cfg, &dram);
         PerfModel model(&engine, cell.platform.clockMhz);
+        const auto replay = [&](core::PhaseSource &source,
+                                core::PhaseSink *tee) {
+            if (!pipelined) {
+                results[i] = model.run(source);
+                return;
+            }
+            PipelineOptions options;
+            options.ringCapacity = pipelineRingCapacity_;
+            options.tee = tee;
+            results[i] = runPipelined(model, source, options);
+        };
         if (job.explicitTrace != nullptr) {
             results[i] = model.run(*job.explicitTrace);
             return;
@@ -454,19 +516,41 @@ Experiment::run() const
             return;
         }
         if (!traceCacheDir_.empty()) {
+            const std::string file = cacheFilePath(job);
             // The cache is shared across processes, so another run's
             // eviction may have deleted the file since phase 1
             // touched it; fall back to streaming the kernel directly
             // (equal keys guarantee the identical phase stream).
-            if (auto source =
-                    FilePhaseSource::openIfReadable(cacheFilePath(job))) {
-                results[i] = model.run(*source);
+            if (auto source = FilePhaseSource::openIfReadable(file)) {
+                if (job.deferred) {
+                    // Phase 1 never probed this key: account the hit
+                    // and refresh the mtime for LRU order here.
+                    std::error_code ec;
+                    std::filesystem::last_write_time(
+                        file,
+                        std::filesystem::file_time_type::clock::now(),
+                        ec);
+                    cache_hits.fetch_add(1, std::memory_order_relaxed);
+                }
+                replay(*source, nullptr);
+                return;
+            }
+            if (job.deferred) {
+                // Single-cell cache miss: stream the kernel once,
+                // teeing each phase into the cache file on the
+                // producer thread while this thread replays it.
+                auto kernel = makeKernel(job.name, job.platform);
+                auto source = kernel->stream();
+                TraceFileWriteSink sink(file);
+                replay(*source, &sink);
+                sink.finish();
+                cache_misses.fetch_add(1, std::memory_order_relaxed);
                 return;
             }
         }
         auto kernel = makeKernel(job.name, job.platform);
         auto source = kernel->stream();
-        results[i] = model.run(*source);
+        replay(*source, nullptr);
     });
 
     if (!traceCacheDir_.empty() && traceCacheMaxBytes_ > 0)

@@ -33,6 +33,7 @@
 #ifndef MGX_SIM_EXPERIMENT_H
 #define MGX_SIM_EXPERIMENT_H
 
+#include <cstddef>
 #include <optional>
 #include <string>
 #include <vector>
@@ -191,6 +192,35 @@ class Experiment
      */
     Experiment &streaming(bool on);
 
+    /**
+     * Pipeline each streamed cell's trace generation and replay onto
+     * two threads over a bounded SPSC phase ring (see sim/pipeline.h)
+     * — bitwise-identical results, but a long single cell is no
+     * longer bound by one core. When never called the choice is
+     * automatic: on when the grid has exactly one cell (the pool
+     * cannot help), off otherwise (cross-cell parallelism already
+     * fills the thread budget).
+     *
+     * The thread budget stays a true cap either way: a pipelined cell
+     * costs two threads (producer + replay), so the pool runs at most
+     * floor(threads / 2) cells at once, and pipelining is disabled
+     * when the budget is a single thread. Requires streaming();
+     * materialized and explicit-trace cells always replay serially.
+     *
+     * On a trace-cache miss whose trace only one cell consumes, the
+     * producer tees phases into the cache file while the replay
+     * consumes them — the cache is populated without a separate
+     * generation pass.
+     */
+    Experiment &pipelined(bool on);
+
+    /**
+     * Slots in each pipelined cell's phase ring (default 8). Results
+     * are invariant under the capacity; it bounds how far generation
+     * runs ahead of replay.
+     */
+    Experiment &pipelineRingCapacity(std::size_t phases);
+
     /** Expand the grid, simulate every cell, return the results. */
     ResultSet run() const;
 
@@ -210,6 +240,8 @@ class Experiment
     std::string traceCacheDir_;
     u64 traceCacheMaxBytes_ = 0;
     bool streaming_ = true;
+    std::optional<bool> pipelined_; ///< unset = automatic (see pipelined())
+    std::size_t pipelineRingCapacity_ = 8;
 };
 
 /**

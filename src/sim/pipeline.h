@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Pipelined intra-cell replay: one workload x scheme cell split onto
+ * two threads — a producer draining a PhaseSource (a streaming
+ * kernel, a trace-cache file, ...) into a bounded SPSC PhaseRing, and
+ * the calling thread replaying phases off the ring through the
+ * unchanged PerfModel::run(PhaseSource&) path.
+ *
+ * Phases cross the ring strictly in production order and only
+ * serialize through the perf model's mem_free recurrence, which the
+ * consumer alone advances — so a pipelined replay is bitwise-
+ * identical to a serial one on every RunResult field derived from the
+ * phase stream (cycles, traffic, access counts, metaCache counters,
+ * traceBytes, peakPhaseBytes). Only the pipeline occupancy/stall
+ * counters themselves (RunResult::pipeline*) depend on thread
+ * scheduling and vary run to run.
+ */
+
+#ifndef MGX_SIM_PIPELINE_H
+#define MGX_SIM_PIPELINE_H
+
+#include <cstddef>
+
+#include "core/phase_ring.h"
+#include "core/phase_stream.h"
+#include "perf_model.h"
+
+namespace mgx::sim {
+
+/** Knobs for one pipelined replay. */
+struct PipelineOptions
+{
+    /**
+     * Ring slots. Results are invariant under the capacity (see
+     * pipeline_replay_test); it only tunes how far the producer may
+     * run ahead of the replay.
+     */
+    std::size_t ringCapacity = 8;
+
+    /**
+     * Optional producer-side tee: sees every phase (on the producer
+     * thread) before it enters the ring. Used to populate the on-disk
+     * trace cache while a cache-miss cell replays concurrently. The
+     * caller must not touch the tee until runPipelined() returns.
+     */
+    core::PhaseSink *tee = nullptr;
+};
+
+/**
+ * Replay @p source through @p model with kernel streaming and replay
+ * pipelined over a bounded SPSC ring. Blocks until both sides finish;
+ * the producer thread is always joined on return, including when the
+ * producer's drain throws (the exception resurfaces here, on the
+ * calling thread, after the buffered prefix has been replayed).
+ *
+ * The returned RunResult carries the ring's occupancy/stall counters
+ * (pipelineProducerWaits / pipelineConsumerWaits /
+ * pipelineMaxOccupancy); every other field is bitwise-identical to
+ * model.run(source) on one thread.
+ */
+RunResult runPipelined(PerfModel &model, core::PhaseSource &source,
+                       const PipelineOptions &options = {});
+
+} // namespace mgx::sim
+
+#endif // MGX_SIM_PIPELINE_H

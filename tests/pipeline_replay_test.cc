@@ -1,0 +1,441 @@
+/**
+ * @file
+ * Pipelined-replay tests: the SPSC PhaseRing itself (FIFO order,
+ * blocking back-pressure, both shutdown sides, error propagation),
+ * streamed-vs-pipelined bitwise equivalence for one cell per domain,
+ * ring-capacity invariance, the trace-cache tee, and race regression
+ * tests for concurrent trace-cache eviction. This suite (plus
+ * streaming_test and experiment_test) runs under ThreadSanitizer in
+ * CI (-DMGX_SANITIZE=thread).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/phase_ring.h"
+#include "sim/experiment.h"
+#include "sim/pipeline.h"
+#include "sim/trace_io.h"
+#include "sim/workload_registry.h"
+
+namespace mgx::sim {
+namespace {
+
+namespace fs = std::filesystem;
+
+using protection::ProtectionConfig;
+using protection::ProtectionEngine;
+using protection::Scheme;
+
+/** One small, fast workload per domain (same set as streaming_test). */
+const char *const kDomainWorkloads[] = {
+    "core/matmul?m=256&n=256&k=256",
+    "dnn/MobileNet?task=training",
+    "graph/google-plus/pagerank?vector=random",
+    "genome/chr1PacBio?reads=8",
+    "video/h264?frames=6",
+};
+
+RunResult
+runSerial(const std::string &workload, Scheme scheme)
+{
+    const Platform platform = defaultPlatform(workload);
+    dram::DramSystem dram(platform.dram);
+    ProtectionConfig cfg;
+    cfg.scheme = scheme;
+    ProtectionEngine engine(cfg, &dram);
+    PerfModel model(&engine, platform.clockMhz);
+    auto kernel = makeKernel(workload, platform);
+    auto source = kernel->stream();
+    return model.run(*source);
+}
+
+RunResult
+runRingPipelined(const std::string &workload, Scheme scheme,
+                 std::size_t ring_capacity = 8)
+{
+    const Platform platform = defaultPlatform(workload);
+    dram::DramSystem dram(platform.dram);
+    ProtectionConfig cfg;
+    cfg.scheme = scheme;
+    ProtectionEngine engine(cfg, &dram);
+    PerfModel model(&engine, platform.clockMhz);
+    auto kernel = makeKernel(workload, platform);
+    auto source = kernel->stream();
+    PipelineOptions options;
+    options.ringCapacity = ring_capacity;
+    return runPipelined(model, *source, options);
+}
+
+/**
+ * Every deterministic field must match — including the metaCache
+ * counters and the content-derived footprint fields (traceBytes,
+ * peakPhaseBytes). Only the pipeline stall counters may differ.
+ */
+void
+expectBitwiseEqual(const RunResult &a, const RunResult &b,
+                   const std::string &label)
+{
+    EXPECT_EQ(a.totalCycles, b.totalCycles) << label;
+    EXPECT_EQ(a.computeCycles, b.computeCycles) << label;
+    EXPECT_EQ(a.memoryCycles, b.memoryCycles) << label;
+    EXPECT_EQ(a.traffic.dataBytes, b.traffic.dataBytes) << label;
+    EXPECT_EQ(a.traffic.expandBytes, b.traffic.expandBytes) << label;
+    EXPECT_EQ(a.traffic.macBytes, b.traffic.macBytes) << label;
+    EXPECT_EQ(a.traffic.vnBytes, b.traffic.vnBytes) << label;
+    EXPECT_EQ(a.traffic.treeBytes, b.traffic.treeBytes) << label;
+    EXPECT_EQ(a.dramAccesses, b.dramAccesses) << label;
+    EXPECT_EQ(a.logicalAccesses, b.logicalAccesses) << label;
+    EXPECT_EQ(a.metaCacheHits, b.metaCacheHits) << label;
+    EXPECT_EQ(a.metaCacheMisses, b.metaCacheMisses) << label;
+    EXPECT_EQ(a.metaCacheWritebacks, b.metaCacheWritebacks) << label;
+    EXPECT_EQ(a.traceBytes, b.traceBytes) << label;
+    EXPECT_EQ(a.peakPhaseBytes, b.peakPhaseBytes) << label;
+    EXPECT_EQ(a.seconds, b.seconds) << label;
+}
+
+/** A tiny distinguishable phase for the ring unit tests. */
+core::Phase
+testPhase(u64 index)
+{
+    core::Phase p;
+    p.name = "phase" + std::to_string(index);
+    p.computeCycles = index;
+    p.accesses.push_back(
+        {index * 64, 64, index, AccessType::Write, DataClass::Generic, 0});
+    return p;
+}
+
+// ---------------------------------------------------------------------
+// PhaseRing unit tests
+// ---------------------------------------------------------------------
+
+TEST(PhaseRing, FifoOrderThroughTinyRing)
+{
+    // Capacity 2 forces constant back-pressure: the producer can be
+    // at most two phases ahead, yet order and content must survive.
+    constexpr u64 kPhases = 500;
+    core::PhaseRing ring(2);
+    std::thread producer([&ring] {
+        for (u64 i = 0; i < kPhases; ++i)
+            ASSERT_TRUE(ring.push(testPhase(i)));
+        ring.closeProducer();
+    });
+    core::Phase scratch;
+    u64 next = 0;
+    while (ring.pop(scratch)) {
+        const core::Phase expected = testPhase(next);
+        EXPECT_EQ(scratch.name, expected.name);
+        EXPECT_EQ(scratch.computeCycles, expected.computeCycles);
+        ASSERT_EQ(scratch.accesses.size(), 1u);
+        EXPECT_EQ(scratch.accesses[0].addr, expected.accesses[0].addr);
+        EXPECT_EQ(scratch.accesses[0].vn, expected.accesses[0].vn);
+        ++next;
+    }
+    producer.join();
+    EXPECT_EQ(next, kPhases);
+    const core::PhaseRing::Stats stats = ring.stats();
+    EXPECT_EQ(stats.phases, kPhases);
+    EXPECT_GE(stats.maxOccupancy, 1u);
+    EXPECT_LE(stats.maxOccupancy, 2u);
+}
+
+TEST(PhaseRing, ZeroCapacityIsClampedToOne)
+{
+    core::PhaseRing ring(0);
+    EXPECT_EQ(ring.capacity(), 1u);
+}
+
+TEST(PhaseRing, ConsumerEarlyExitReleasesBlockedProducer)
+{
+    core::PhaseRing ring(2);
+    std::atomic<u64> pushed{0};
+    std::thread producer([&ring, &pushed] {
+        for (u64 i = 0; i < 100; ++i) {
+            if (!ring.push(testPhase(i)))
+                return; // consumer closed: clean stop
+            pushed.fetch_add(1, std::memory_order_relaxed);
+        }
+    });
+    core::Phase scratch;
+    for (int i = 0; i < 3; ++i)
+        ASSERT_TRUE(ring.pop(scratch));
+    ring.closeConsumer();
+    producer.join(); // must not deadlock on the full ring
+    // 3 popped + at most 2 still buffered ever succeeded.
+    EXPECT_LE(pushed.load(), 5u);
+    EXPECT_GE(pushed.load(), 3u);
+}
+
+TEST(PhaseRing, ProducerFailurePropagatesAfterBufferedPrefix)
+{
+    core::PhaseRing ring(8);
+    std::thread producer([&ring] {
+        for (u64 i = 0; i < 3; ++i)
+            ASSERT_TRUE(ring.push(testPhase(i)));
+        ring.fail(std::make_exception_ptr(
+            std::runtime_error("producer exploded")));
+    });
+    producer.join();
+    // The buffered prefix drains first...
+    core::Phase scratch;
+    for (u64 i = 0; i < 3; ++i) {
+        ASSERT_TRUE(ring.pop(scratch));
+        EXPECT_EQ(scratch.name, "phase" + std::to_string(i));
+    }
+    // ...then the producer's exception surfaces on the consumer side.
+    EXPECT_THROW(ring.pop(scratch), std::runtime_error);
+}
+
+TEST(PhaseRing, CloseProducerEndsStreamWithoutError)
+{
+    core::PhaseRing ring(4);
+    ring.closeProducer();
+    core::Phase scratch;
+    EXPECT_FALSE(ring.pop(scratch)); // empty stream, no blocking
+}
+
+// ---------------------------------------------------------------------
+// Pipelined replay equivalence
+// ---------------------------------------------------------------------
+
+TEST(PipelineReplay, MatchesSerialStreamingAllDomains)
+{
+    // BP exercises the metadata cache, MGX the VN expansion path;
+    // both must be bitwise-identical between a serial drain and the
+    // two-thread ring in every domain.
+    for (const char *workload : kDomainWorkloads) {
+        for (Scheme scheme : {Scheme::NP, Scheme::MGX, Scheme::BP}) {
+            const std::string label =
+                std::string(workload) + "/" +
+                protection::schemeName(scheme);
+            const RunResult serial = runSerial(workload, scheme);
+            const RunResult piped = runRingPipelined(workload, scheme);
+            expectBitwiseEqual(serial, piped, label);
+            // The serial run never saw a ring; the pipelined one did.
+            EXPECT_EQ(serial.pipelineMaxOccupancy, 0u) << label;
+            EXPECT_GE(piped.pipelineMaxOccupancy, 1u) << label;
+            EXPECT_LE(piped.pipelineMaxOccupancy, 8u) << label;
+        }
+    }
+}
+
+TEST(PipelineReplay, InvariantUnderRingCapacity)
+{
+    const std::string w = "core/matmul?m=256&n=256&k=256";
+    const RunResult one = runRingPipelined(w, Scheme::BP, 1);
+    const RunResult two = runRingPipelined(w, Scheme::BP, 2);
+    const RunResult big = runRingPipelined(w, Scheme::BP, 64);
+    expectBitwiseEqual(one, two, "capacity 1 vs 2");
+    expectBitwiseEqual(one, big, "capacity 1 vs 64");
+    EXPECT_EQ(one.pipelineMaxOccupancy, 1u);
+    EXPECT_LE(big.pipelineMaxOccupancy, 64u);
+}
+
+TEST(PipelineReplay, ProducerThrowSurfacesOnCallerWithoutDeadlock)
+{
+    /** Emits a few phases, then dies mid-stream. */
+    class ThrowingSource final : public core::PhaseSource
+    {
+      public:
+        bool
+        nextChunk(core::PhaseSink &sink) override
+        {
+            if (emitted_ == 5)
+                throw std::runtime_error("kernel stream failed");
+            sink.consume(scratch_ = testPhase(emitted_++));
+            return true;
+        }
+
+      private:
+        u64 emitted_ = 0;
+        core::Phase scratch_;
+    };
+
+    const Platform platform = edgePlatform();
+    dram::DramSystem dram(platform.dram);
+    ProtectionConfig cfg;
+    cfg.scheme = Scheme::NP;
+    ProtectionEngine engine(cfg, &dram);
+    PerfModel model(&engine, platform.clockMhz);
+    ThrowingSource source;
+    // A tiny ring so the producer is likely mid-push when it throws;
+    // the exception must resurface here, with the producer joined.
+    PipelineOptions options;
+    options.ringCapacity = 1;
+    EXPECT_THROW(runPipelined(model, source, options),
+                 std::runtime_error);
+}
+
+TEST(PipelineReplay, ExperimentPipelinedGridMatchesSerial)
+{
+    const std::vector<std::string> ws = {
+        "core/matmul?m=128&n=128&k=128",
+        "graph/google-plus/pagerank?vector=random"};
+    auto grid = [&](bool pipeline) {
+        return Experiment()
+            .workloads(ws)
+            .platform(edgePlatform())
+            .schemes({Scheme::NP, Scheme::MGX, Scheme::BP})
+            .threads(2)
+            .pipelined(pipeline)
+            .run();
+    };
+    const ResultSet serial = grid(false);
+    const ResultSet piped = grid(true);
+    ASSERT_EQ(serial.records().size(), piped.records().size());
+    for (std::size_t i = 0; i < serial.records().size(); ++i) {
+        expectBitwiseEqual(serial.records()[i].result,
+                           piped.records()[i].result,
+                           piped.records()[i].key.workload);
+        EXPECT_GE(piped.records()[i].result.pipelineMaxOccupancy, 1u);
+    }
+}
+
+TEST(PipelineReplay, RingCapacityInvarianceThroughExperiment)
+{
+    auto run = [](std::size_t capacity) {
+        return Experiment()
+            .workload("video/h264?frames=4")
+            .schemes({Scheme::BP})
+            .threads(2)
+            .pipelined(true)
+            .pipelineRingCapacity(capacity)
+            .run();
+    };
+    const ResultSet one = run(1);
+    const ResultSet big = run(64);
+    ASSERT_EQ(one.records().size(), 1u);
+    ASSERT_EQ(big.records().size(), 1u);
+    expectBitwiseEqual(one.records()[0].result, big.records()[0].result,
+                       "experiment ring capacity 1 vs 64");
+}
+
+// ---------------------------------------------------------------------
+// Trace-cache tee
+// ---------------------------------------------------------------------
+
+TEST(PipelineTraceCache, TeePopulatesCacheWhileReplaying)
+{
+    const fs::path dir =
+        fs::temp_directory_path() / "mgx_pipeline_tee_test";
+    fs::remove_all(dir);
+
+    const std::string w = "core/matmul?m=128&n=128&k=128";
+    const RunResult baseline = runSerial(w, Scheme::BP);
+
+    // Single-cell grid + pipeline + cold cache: the producer tees the
+    // kernel stream into the cache file while this run replays it —
+    // one kernel execution, cache populated, result identical.
+    auto cached = [&] {
+        return Experiment()
+            .workload(w)
+            .schemes({Scheme::BP})
+            .threads(2)
+            .pipelined(true)
+            .traceCacheDir(dir.string())
+            .run();
+    };
+    const ResultSet cold = cached();
+    EXPECT_EQ(cold.traceCacheMisses(), 1u);
+    EXPECT_EQ(cold.traceCacheHits(), 0u);
+    ASSERT_EQ(cold.records().size(), 1u);
+    expectBitwiseEqual(baseline, cold.records()[0].result, "cold tee");
+
+    // Exactly one published trace file, byte-equivalent to the
+    // kernel's materialized trace (no half-written temporary left).
+    std::vector<fs::path> files;
+    for (const auto &e : fs::directory_iterator(dir))
+        files.push_back(e.path());
+    ASSERT_EQ(files.size(), 1u);
+    EXPECT_EQ(files[0].extension(), ".trace");
+    core::Trace expected = makeKernel(w)->generate();
+    EXPECT_EQ(traceToString(readTraceFile(files[0].string())),
+              traceToString(expected));
+
+    // The warm run replays the teed file — a hit, same results.
+    const ResultSet warm = cached();
+    EXPECT_EQ(warm.traceCacheHits(), 1u);
+    EXPECT_EQ(warm.traceCacheMisses(), 0u);
+    expectBitwiseEqual(baseline, warm.records()[0].result, "warm tee");
+    fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------
+// Trace-cache eviction races
+// ---------------------------------------------------------------------
+
+TEST(EvictionRace, MidReadUnlinkStillDrainsTheWholeTrace)
+{
+    // A FilePhaseSource caught mid-phase by an eviction must finish
+    // its pass: on POSIX the open descriptor outlives the unlink, so
+    // the reader sees the complete, unmodified trace.
+    const fs::path dir =
+        fs::temp_directory_path() / "mgx_midread_unlink_test";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    const std::string file = (dir / "victim.trace").string();
+
+    core::Trace trace = makeKernel("video/h264?frames=6")->generate();
+    ASSERT_GT(trace.size(), 4u);
+    writeTraceFile(trace, file);
+
+    core::Trace rebuilt;
+    core::TraceBuildSink sink(rebuilt);
+    FilePhaseSource source(file);
+    for (int i = 0; i < 2; ++i)
+        ASSERT_TRUE(source.nextChunk(sink)); // reader is mid-trace
+    EXPECT_EQ(enforceTraceCacheLimit(dir.string(), 0), 1u);
+    EXPECT_FALSE(fs::exists(file)); // evicted under the reader
+    while (source.nextChunk(sink)) {
+    }
+    EXPECT_EQ(traceToString(rebuilt), traceToString(trace));
+    fs::remove_all(dir);
+}
+
+TEST(EvictionRace, ConcurrentEvictorStaysBitwiseIdentical)
+{
+    // Hammer the cache directory with an evictor thread while cells
+    // replay from it, serial and pipelined: whether a cell wins the
+    // race (replays the file) or loses it (openIfReadable fails and
+    // it falls back to streaming the kernel), every result must equal
+    // the uncached baseline.
+    const fs::path dir =
+        fs::temp_directory_path() / "mgx_evict_race_test";
+    fs::remove_all(dir);
+
+    const std::string w = "core/matmul?m=128&n=128&k=128";
+    const RunResult baseline = runSerial(w, Scheme::BP);
+
+    std::atomic<bool> stop{false};
+    std::thread evictor([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+            enforceTraceCacheLimit(dir.string(), 0);
+            std::this_thread::yield();
+        }
+    });
+    for (int i = 0; i < 12; ++i) {
+        const ResultSet rs = Experiment()
+                                 .workload(w)
+                                 .schemes({Scheme::BP})
+                                 .threads(2)
+                                 .pipelined(i % 2 == 1)
+                                 .traceCacheDir(dir.string())
+                                 .run();
+        ASSERT_EQ(rs.records().size(), 1u);
+        expectBitwiseEqual(baseline, rs.records()[0].result,
+                           "race iteration " + std::to_string(i));
+    }
+    stop.store(true, std::memory_order_relaxed);
+    evictor.join();
+    fs::remove_all(dir);
+}
+
+} // namespace
+} // namespace mgx::sim
