@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Load generator for the experiment service: starts an in-process
+ * Server on a private unix socket and temp trace-cache dir, then
+ *
+ *   1. cold burst — N clients fire the same cold-cache request at
+ *      once, so the singleflight + trace-cache layers should collapse
+ *      the N engine runs (dedupCollapsed lands between 0 and
+ *      (N-1) x cells, racing arrival order; > 0 on any real overlap),
+ *   2. sustained — the N clients hammer the warm cell for a fixed
+ *      wall-clock window, measuring served requests and cells/second.
+ *
+ * Emits an `mgx-servebench-v1` JSON document on stdout for trajectory
+ * tracking; the human-readable line goes to stderr.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "serve/client.h"
+#include "serve/server.h"
+
+namespace {
+
+using namespace mgx;
+using Clock = std::chrono::steady_clock;
+
+struct Options
+{
+    unsigned clients = 4;
+    double seconds = 2.0;
+    std::string workload = "core/matmul";
+    std::string schemes = "NP,BP";
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "bench_serve_load: %s needs a value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--clients")
+            opt.clients = static_cast<unsigned>(
+                std::strtoul(value(), nullptr, 10));
+        else if (arg == "--seconds")
+            opt.seconds = std::strtod(value(), nullptr);
+        else if (arg == "--workload")
+            opt.workload = value();
+        else if (arg == "--schemes")
+            opt.schemes = value();
+        else {
+            std::fprintf(stderr,
+                         "usage: bench_serve_load [--clients N] "
+                         "[--seconds S] [--workload W] [--schemes "
+                         "S,...]\n");
+            return 2;
+        }
+    }
+    if (opt.clients == 0)
+        opt.clients = 1;
+
+    const std::string tag = std::to_string(::getpid());
+    const std::string sock = "/tmp/mgx-serve-bench-" + tag + ".sock";
+    const std::string cache_dir =
+        std::filesystem::temp_directory_path() /
+        ("mgx-serve-bench-cache-" + tag);
+
+    serve::ServerOptions sopts;
+    sopts.listen.unixPath = sock;
+    sopts.workers = opt.clients;
+    sopts.admissionCapacity = opt.clients * 2;
+    sopts.traceCacheDir = cache_dir;
+    serve::Server server(sopts);
+    server.start();
+
+    const std::string target =
+        "/run?workload=" + serve::percentEncode(opt.workload) +
+        "&schemes=" + opt.schemes;
+    const serve::SocketAddress addr{sock, "127.0.0.1", 0};
+
+    // --- Phase 1: cold burst -------------------------------------
+    std::atomic<unsigned> ready{0};
+    std::atomic<bool> go{false};
+    std::atomic<unsigned> burst_ok{0};
+    std::vector<std::thread> threads;
+    for (unsigned i = 0; i < opt.clients; ++i) {
+        threads.emplace_back([&] {
+            ready.fetch_add(1);
+            while (!go.load(std::memory_order_acquire))
+                std::this_thread::yield();
+            serve::HttpResponse resp;
+            std::string error;
+            if (serve::httpGet(addr, target, &resp, &error) &&
+                resp.status == 200)
+                burst_ok.fetch_add(1);
+        });
+    }
+    while (ready.load() < opt.clients)
+        std::this_thread::yield();
+    const auto burst_start = Clock::now();
+    go.store(true, std::memory_order_release);
+    for (auto &t : threads)
+        t.join();
+    const double burst_secs =
+        std::chrono::duration<double>(Clock::now() - burst_start)
+            .count();
+    const auto after_burst = server.metricsSnapshot();
+
+    // --- Phase 2: sustained warm-cache load ----------------------
+    std::atomic<unsigned long long> sustained_ok{0};
+    const auto deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(opt.seconds));
+    threads.clear();
+    const auto sustained_start = Clock::now();
+    for (unsigned i = 0; i < opt.clients; ++i) {
+        threads.emplace_back([&] {
+            while (Clock::now() < deadline) {
+                serve::HttpResponse resp;
+                std::string error;
+                if (serve::httpGet(addr, target, &resp, &error) &&
+                    resp.status == 200)
+                    sustained_ok.fetch_add(1);
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    const double sustained_secs =
+        std::chrono::duration<double>(Clock::now() - sustained_start)
+            .count();
+
+    const auto final_stats = server.metricsSnapshot();
+    server.shutdown();
+    std::filesystem::remove_all(cache_dir);
+
+    const unsigned cells_per_request =
+        [&] {
+            unsigned n = 1;
+            for (char c : opt.schemes)
+                if (c == ',')
+                    ++n;
+            return n;
+        }();
+    const unsigned long long sustained_cells =
+        sustained_ok.load() * cells_per_request;
+    const double cells_per_sec =
+        sustained_secs > 0 ? sustained_cells / sustained_secs : 0;
+
+    std::fprintf(stderr,
+                 "bench_serve_load: %u clients, burst %.3fs "
+                 "(%u ok, collapsed %llu, cellsRun %llu), sustained "
+                 "%.1fs: %llu requests, %.1f cells/s\n",
+                 opt.clients, burst_secs, burst_ok.load(),
+                 static_cast<unsigned long long>(
+                     after_burst.dedupCollapsed),
+                 static_cast<unsigned long long>(after_burst.cellsRun),
+                 sustained_secs,
+                 static_cast<unsigned long long>(sustained_ok.load()),
+                 cells_per_sec);
+
+    std::printf(
+        "{\n  \"schema\": \"mgx-servebench-v1\",\n"
+        "  \"clients\": %u,\n  \"workload\": \"%s\",\n"
+        "  \"schemes\": \"%s\",\n"
+        "  \"burst\": {\"seconds\": %.6f, \"ok\": %u, "
+        "\"cellsRun\": %llu, \"dedupCollapsed\": %llu},\n"
+        "  \"sustained\": {\"seconds\": %.6f, \"requests\": %llu, "
+        "\"cellsPerSecond\": %.3f},\n"
+        "  \"stats\": {\"served\": %llu, \"rejected\": %llu, "
+        "\"traceCacheHits\": %llu, \"traceCacheMisses\": %llu}\n}\n",
+        opt.clients, opt.workload.c_str(), opt.schemes.c_str(),
+        burst_secs, burst_ok.load(),
+        static_cast<unsigned long long>(after_burst.cellsRun),
+        static_cast<unsigned long long>(after_burst.dedupCollapsed),
+        sustained_secs,
+        static_cast<unsigned long long>(sustained_ok.load()),
+        cells_per_sec,
+        static_cast<unsigned long long>(final_stats.served),
+        static_cast<unsigned long long>(final_stats.rejected),
+        static_cast<unsigned long long>(final_stats.traceCacheHits),
+        static_cast<unsigned long long>(final_stats.traceCacheMisses));
+
+    return burst_ok.load() == opt.clients ? 0 : 1;
+}

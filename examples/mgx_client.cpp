@@ -1,0 +1,157 @@
+/**
+ * @file
+ * mgx_client: one-shot CLI client for mgx_serve. Builds the /run
+ * query from mgx_run-style flags, prints the response body to stdout,
+ * and exits non-zero on any non-2xx answer — so shell scripts can
+ * pipe the resultset JSON exactly as they would `mgx_run --json`.
+ *
+ * Usage:
+ *   mgx_client --socket /tmp/mgx.sock --run core/matmul --schemes NP,BP
+ *   mgx_client --port 8931 --stats
+ *   mgx_client --socket /tmp/mgx.sock --shutdown
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "serve/client.h"
+
+namespace {
+
+int
+usage(std::FILE *out)
+{
+    std::fprintf(
+        out,
+        "usage: mgx_client (--socket PATH | --port N [--host H]) "
+        "ACTION\n"
+        "actions:\n"
+        "  --run W[,W...]         run workloads; prints resultset JSON\n"
+        "    --platforms P[,...]  cloud, edge, graph, genome\n"
+        "    --schemes S[,...]    NP, MGX, MGX_VN, MGX_MAC, BP\n"
+        "  --stats                print the service's counters\n"
+        "  --shutdown             ask the daemon to drain and exit\n"
+        "options:\n"
+        "  --timeout-ms N         per-request timeout (default 120000)\n"
+        "  --help                 this message\n");
+    return out == stdout ? 0 : 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace mgx;
+
+    serve::SocketAddress addr;
+    std::string workloads, platforms, schemes;
+    bool stats = false, shutdown = false;
+    int timeout_ms = 120000;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "mgx_client: %s needs a value\n",
+                             arg.c_str());
+                std::exit(usage(stderr));
+            }
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h")
+            return usage(stdout);
+        if (arg == "--socket") {
+            addr.unixPath = value();
+        } else if (arg == "--port") {
+            addr.port =
+                static_cast<u16>(std::strtoul(value(), nullptr, 10));
+        } else if (arg == "--host") {
+            addr.host = value();
+        } else if (arg == "--run" || arg == "--workload" ||
+                   arg == "-w") {
+            workloads = value();
+        } else if (arg == "--platforms" || arg == "--platform") {
+            platforms = value();
+        } else if (arg == "--schemes" || arg == "--scheme") {
+            schemes = value();
+        } else if (arg == "--stats") {
+            stats = true;
+        } else if (arg == "--shutdown") {
+            shutdown = true;
+        } else if (arg == "--timeout-ms") {
+            timeout_ms =
+                static_cast<int>(std::strtol(value(), nullptr, 10));
+        } else {
+            std::fprintf(stderr, "mgx_client: unknown option '%s'\n",
+                         arg.c_str());
+            return usage(stderr);
+        }
+    }
+
+    if (addr.unixPath.empty() && addr.port == 0) {
+        std::fprintf(stderr,
+                     "mgx_client: need --socket PATH or --port N\n");
+        return usage(stderr);
+    }
+    const int actions = (workloads.empty() ? 0 : 1) + (stats ? 1 : 0) +
+                        (shutdown ? 1 : 0);
+    if (actions != 1) {
+        std::fprintf(stderr, "mgx_client: pick exactly one of --run, "
+                             "--stats, --shutdown\n");
+        return usage(stderr);
+    }
+
+    std::string target;
+    if (stats) {
+        target = "/stats";
+    } else if (shutdown) {
+        target = "/shutdown";
+    } else {
+        target = "/run";
+        char sep = '?';
+        // One workload= per name keeps commas inside parameterized
+        // names (e.g. core/matmul?m=64) unambiguous after encoding.
+        std::size_t start = 0;
+        while (start <= workloads.size()) {
+            std::size_t pos = workloads.find(',', start);
+            if (pos == std::string::npos)
+                pos = workloads.size();
+            if (pos > start) {
+                target += sep;
+                target += "workload=";
+                target += serve::percentEncode(
+                    workloads.substr(start, pos - start));
+                sep = '&';
+            }
+            start = pos + 1;
+        }
+        if (!platforms.empty()) {
+            target += sep;
+            target += "platforms=" + serve::percentEncode(platforms);
+            sep = '&';
+        }
+        if (!schemes.empty()) {
+            target += sep;
+            // Scheme names are [A-Z_] and the comma separator must
+            // stay literal, so the list goes through unencoded.
+            target += "schemes=" + schemes;
+        }
+    }
+
+    serve::HttpResponse resp;
+    std::string error;
+    if (!serve::httpGet(addr, target, &resp, &error, timeout_ms)) {
+        std::fprintf(stderr, "mgx_client: %s\n", error.c_str());
+        return 1;
+    }
+    std::fputs(resp.body.c_str(), stdout);
+    if (resp.status < 200 || resp.status >= 300) {
+        std::fprintf(stderr, "mgx_client: HTTP %d %s\n", resp.status,
+                     resp.reason.c_str());
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * mgx_serve: the experiment service daemon. Listens on a unix socket
+ * (or TCP loopback), serves /run, /stats and /shutdown, and shares
+ * the trace cache with every other mgx process pointed at the same
+ * directory. See src/serve/server.h for semantics.
+ *
+ * Usage:
+ *   mgx_serve --socket /tmp/mgx.sock --trace-cache ~/.cache/mgx
+ *   mgx_serve --port 0 --workers 4          # prints the bound port
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <poll.h>
+
+#include "serve/server.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_signaled = 0;
+
+void
+onSignal(int)
+{
+    g_signaled = 1;
+}
+
+int
+usage(std::FILE *out)
+{
+    std::fprintf(
+        out,
+        "usage: mgx_serve [options]\n"
+        "  --socket PATH          listen on a unix socket (default:\n"
+        "                         TCP loopback)\n"
+        "  --port N               TCP port (0 = kernel-assigned; the\n"
+        "                         bound port is printed on startup)\n"
+        "  --workers N            request handler threads (default 2)\n"
+        "  --queue N              admission queue capacity before\n"
+        "                         connections get 429 (default 16)\n"
+        "  --trace-cache DIR      share generated traces on disk with\n"
+        "                         other daemons and mgx_run\n"
+        "  --trace-cache-max-bytes N\n"
+        "                         LRU size cap for the trace cache\n"
+        "  --quiet                no startup/shutdown chatter\n"
+        "  --help                 this message\n");
+    return out == stdout ? 0 : 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace mgx;
+
+    serve::ServerOptions opts;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "mgx_serve: %s needs a value\n",
+                             arg.c_str());
+                std::exit(usage(stderr));
+            }
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h")
+            return usage(stdout);
+        if (arg == "--socket") {
+            opts.listen.unixPath = value();
+        } else if (arg == "--port") {
+            opts.listen.port =
+                static_cast<u16>(std::strtoul(value(), nullptr, 10));
+        } else if (arg == "--workers") {
+            opts.workers =
+                static_cast<u32>(std::strtoul(value(), nullptr, 10));
+        } else if (arg == "--queue") {
+            opts.admissionCapacity = std::strtoul(value(), nullptr, 10);
+        } else if (arg == "--trace-cache") {
+            opts.traceCacheDir = value();
+        } else if (arg == "--trace-cache-max-bytes") {
+            opts.traceCacheMaxBytes =
+                std::strtoull(value(), nullptr, 10);
+        } else if (arg == "--quiet" || arg == "-q") {
+            quiet = true;
+        } else {
+            std::fprintf(stderr, "mgx_serve: unknown option '%s'\n",
+                         arg.c_str());
+            return usage(stderr);
+        }
+    }
+
+    serve::Server server(opts);
+    server.start();
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
+    if (!quiet)
+        std::printf("mgx_serve: listening on %s\n",
+                    server.addressDescription().c_str());
+    std::fflush(stdout);
+
+    // Sleep until a signal or a /shutdown request flips the flag.
+    while (!g_signaled && !server.stopping())
+        ::poll(nullptr, 0, 100);
+
+    server.shutdown();
+
+    if (!quiet) {
+        const auto s = server.metricsSnapshot();
+        std::printf("mgx_serve: drained; served %llu, rejected %llu, "
+                    "cells %llu, collapsed %llu\n",
+                    static_cast<unsigned long long>(s.served),
+                    static_cast<unsigned long long>(s.rejected),
+                    static_cast<unsigned long long>(s.cellsRun),
+                    static_cast<unsigned long long>(s.dedupCollapsed));
+    }
+    return 0;
+}

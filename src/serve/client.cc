@@ -1,0 +1,135 @@
+#include "client.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace mgx::serve {
+namespace {
+
+int
+connectTo(const SocketAddress &addr, std::string *error)
+{
+    const auto fail = [&](const std::string &what) {
+        if (error)
+            *error = what + ": " + std::strerror(errno);
+        return -1;
+    };
+    if (!addr.unixPath.empty()) {
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+        if (fd < 0)
+            return fail("socket");
+        sockaddr_un sa{};
+        sa.sun_family = AF_UNIX;
+        if (addr.unixPath.size() >= sizeof sa.sun_path) {
+            ::close(fd);
+            if (error)
+                *error = "unix path too long: " + addr.unixPath;
+            return -1;
+        }
+        std::strncpy(sa.sun_path, addr.unixPath.c_str(),
+                     sizeof sa.sun_path - 1);
+        if (::connect(fd, reinterpret_cast<sockaddr *>(&sa),
+                      sizeof sa) != 0) {
+            const int r = fail("connect " + addr.unixPath);
+            ::close(fd);
+            return r;
+        }
+        return fd;
+    }
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0)
+        return fail("socket");
+    sockaddr_in sa{};
+    sa.sin_family = AF_INET;
+    sa.sin_port = htons(addr.port);
+    if (::inet_pton(AF_INET, addr.host.c_str(), &sa.sin_addr) != 1) {
+        ::close(fd);
+        if (error)
+            *error = "bad host: " + addr.host;
+        return -1;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&sa), sizeof sa) !=
+        0) {
+        const int r = fail("connect " + addr.host + ":" +
+                           std::to_string(addr.port));
+        ::close(fd);
+        return r;
+    }
+    return fd;
+}
+
+} // namespace
+
+bool
+httpGet(const SocketAddress &addr, const std::string &target,
+        HttpResponse *out, std::string *error, int timeout_ms)
+{
+    const int fd = connectTo(addr, error);
+    if (fd < 0)
+        return false;
+
+    timeval tv{};
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = (timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+
+    const std::string request = "GET " + target +
+                                " HTTP/1.1\r\nHost: mgx\r\n"
+                                "Connection: close\r\n\r\n";
+    std::size_t sent = 0;
+    std::string send_error;
+    while (sent < request.size()) {
+        const ssize_t n = ::send(fd, request.data() + sent,
+                                 request.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            // The server may answer-and-close without reading the
+            // request — that is how admission rejection (429) works,
+            // so a failed send is not fatal: the response can already
+            // be sitting in our receive queue. Only report the send
+            // error if nothing comes back.
+            send_error = std::string("send: ") + std::strerror(errno);
+            break;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+
+    std::string raw;
+    char buf[4096];
+    while (true) {
+        const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n < 0) {
+            if (raw.empty()) {
+                if (error)
+                    *error = std::string("recv: ") +
+                             std::strerror(errno);
+                ::close(fd);
+                return false;
+            }
+            break; // got a response before the connection dropped
+        }
+        if (n == 0)
+            break;
+        raw.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+
+    if (raw.empty() && !send_error.empty()) {
+        if (error)
+            *error = send_error;
+        return false;
+    }
+    return parseHttpResponse(raw, out, error);
+}
+
+} // namespace mgx::serve

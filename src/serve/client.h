@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Blocking one-shot HTTP client for the experiment service: connect
+ * to a SocketAddress, send one GET, read to EOF (the server always
+ * closes after one response), parse. Shared by mgx_client, the load
+ * bench, and the tests.
+ */
+
+#ifndef MGX_SERVE_CLIENT_H
+#define MGX_SERVE_CLIENT_H
+
+#include <string>
+
+#include "http.h"
+#include "server.h"
+
+namespace mgx::serve {
+
+/**
+ * GET @p target from the server at @p addr. Returns false with
+ * @p error set on connect/IO/parse failure; @p out holds the parsed
+ * response otherwise (including non-2xx statuses — those are valid
+ * answers, e.g. 429 back-pressure).
+ */
+bool httpGet(const SocketAddress &addr, const std::string &target,
+             HttpResponse *out, std::string *error,
+             int timeout_ms = 30000);
+
+} // namespace mgx::serve
+
+#endif // MGX_SERVE_CLIENT_H

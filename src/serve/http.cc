@@ -1,0 +1,345 @@
+#include "http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace mgx::serve {
+namespace {
+
+/// Total request size cap: request line + headers + body.
+constexpr std::size_t kMaxRequestBytes = 1u << 20;
+
+std::string
+toLower(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return s;
+}
+
+/** Strip one trailing '\r' (we split on '\n' and tolerate bare LF). */
+std::string_view
+stripCr(std::string_view line)
+{
+    if (!line.empty() && line.back() == '\r')
+        line.remove_suffix(1);
+    return line;
+}
+
+int
+hexValue(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    return -1;
+}
+
+/** Split `key=value&key=value` into decoded pairs. */
+std::vector<std::pair<std::string, std::string>>
+parseQueryString(const std::string &raw)
+{
+    std::vector<std::pair<std::string, std::string>> out;
+    std::size_t start = 0;
+    while (start <= raw.size()) {
+        std::size_t amp = raw.find('&', start);
+        if (amp == std::string::npos)
+            amp = raw.size();
+        const std::string kv = raw.substr(start, amp - start);
+        if (!kv.empty()) {
+            const std::size_t eq = kv.find('=');
+            if (eq == std::string::npos)
+                out.emplace_back(percentDecode(kv), "");
+            else
+                out.emplace_back(percentDecode(kv.substr(0, eq)),
+                                 percentDecode(kv.substr(eq + 1)));
+        }
+        start = amp + 1;
+    }
+    return out;
+}
+
+} // namespace
+
+std::optional<std::string>
+HttpRequest::queryValue(const std::string &key) const
+{
+    for (const auto &kv : query)
+        if (kv.first == key)
+            return kv.second;
+    return std::nullopt;
+}
+
+std::vector<std::string>
+HttpRequest::queryValues(const std::string &key) const
+{
+    std::vector<std::string> out;
+    for (const auto &kv : query)
+        if (kv.first == key)
+            out.push_back(kv.second);
+    return out;
+}
+
+std::optional<std::string>
+HttpRequest::header(const std::string &name) const
+{
+    const std::string key = toLower(name);
+    for (const auto &kv : headers)
+        if (kv.first == key)
+            return kv.second;
+    return std::nullopt;
+}
+
+HttpRequestParser::Status
+HttpRequestParser::fail(const std::string &message)
+{
+    error_ = message;
+    status_ = Status::Error;
+    return status_;
+}
+
+HttpRequestParser::Status
+HttpRequestParser::feed(const char *data, std::size_t n)
+{
+    if (status_ != Status::Incomplete)
+        return status_;
+    buffer_.append(data, n);
+    if (buffer_.size() > kMaxRequestBytes)
+        return fail("request exceeds 1 MiB");
+    return parseBuffered();
+}
+
+HttpRequestParser::Status
+HttpRequestParser::parseBuffered()
+{
+    // Wait for the end of the header block before parsing anything;
+    // requests are tiny, so re-scanning per feed() is fine.
+    std::size_t header_end = buffer_.find("\r\n\r\n");
+    std::size_t body_start;
+    if (header_end != std::string::npos) {
+        body_start = header_end + 4;
+    } else {
+        header_end = buffer_.find("\n\n");
+        if (header_end == std::string::npos)
+            return status_;
+        body_start = header_end + 2;
+    }
+
+    HttpRequest req;
+    std::size_t pos = 0;
+    bool first_line = true;
+    while (pos < header_end) {
+        std::size_t eol = buffer_.find('\n', pos);
+        if (eol == std::string::npos || eol > header_end)
+            eol = header_end;
+        const std::string_view line =
+            stripCr({buffer_.data() + pos, eol - pos});
+        pos = eol + 1;
+        if (first_line) {
+            first_line = false;
+            const std::size_t sp1 = line.find(' ');
+            const std::size_t sp2 =
+                sp1 == std::string_view::npos ? sp1
+                                              : line.find(' ', sp1 + 1);
+            if (sp1 == std::string_view::npos ||
+                sp2 == std::string_view::npos)
+                return fail("malformed request line");
+            req.method = std::string(line.substr(0, sp1));
+            req.target =
+                std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+            const std::string_view version = line.substr(sp2 + 1);
+            if (version.rfind("HTTP/1.", 0) != 0)
+                return fail("unsupported HTTP version");
+            if (req.target.empty() || req.target[0] != '/')
+                return fail("request target must be absolute path");
+            continue;
+        }
+        if (line.empty())
+            continue;
+        const std::size_t colon = line.find(':');
+        if (colon == std::string_view::npos || colon == 0)
+            return fail("malformed header line");
+        std::string value(line.substr(colon + 1));
+        const std::size_t ns = value.find_first_not_of(" \t");
+        value = ns == std::string::npos ? "" : value.substr(ns);
+        req.headers.emplace_back(
+            toLower(std::string(line.substr(0, colon))),
+            std::move(value));
+    }
+
+    std::size_t content_length = 0;
+    for (const auto &h : req.headers) {
+        if (h.first != "content-length")
+            continue;
+        char *end = nullptr;
+        content_length = std::strtoull(h.second.c_str(), &end, 10);
+        if (end == h.second.c_str() || *end != '\0')
+            return fail("malformed Content-Length");
+    }
+    if (content_length > kMaxRequestBytes)
+        return fail("request exceeds 1 MiB");
+    if (buffer_.size() - body_start < content_length)
+        return status_; // body still in flight
+    req.body = buffer_.substr(body_start, content_length);
+
+    const std::size_t qpos = req.target.find('?');
+    req.path = percentDecode(req.target.substr(0, qpos));
+    if (qpos != std::string::npos)
+        req.query = parseQueryString(req.target.substr(qpos + 1));
+
+    request_ = std::move(req);
+    status_ = Status::Complete;
+    return status_;
+}
+
+bool
+parseHttpResponse(const std::string &raw, HttpResponse *out,
+                  std::string *error)
+{
+    const auto fail = [&](const char *msg) {
+        if (error)
+            *error = msg;
+        return false;
+    };
+    std::size_t header_end = raw.find("\r\n\r\n");
+    std::size_t body_start;
+    if (header_end != std::string::npos) {
+        body_start = header_end + 4;
+    } else {
+        header_end = raw.find("\n\n");
+        if (header_end == std::string::npos)
+            return fail("no header terminator");
+        body_start = header_end + 2;
+    }
+
+    HttpResponse resp;
+    std::size_t pos = 0;
+    bool first_line = true;
+    while (pos < header_end) {
+        std::size_t eol = raw.find('\n', pos);
+        if (eol == std::string::npos || eol > header_end)
+            eol = header_end;
+        const std::string_view line =
+            stripCr({raw.data() + pos, eol - pos});
+        pos = eol + 1;
+        if (first_line) {
+            first_line = false;
+            if (line.rfind("HTTP/1.", 0) != 0)
+                return fail("malformed status line");
+            const std::size_t sp1 = line.find(' ');
+            if (sp1 == std::string_view::npos)
+                return fail("malformed status line");
+            const std::size_t sp2 = line.find(' ', sp1 + 1);
+            const std::string code(line.substr(
+                sp1 + 1, sp2 == std::string_view::npos ? sp2
+                                                       : sp2 - sp1 - 1));
+            char *end = nullptr;
+            resp.status =
+                static_cast<int>(std::strtol(code.c_str(), &end, 10));
+            if (end == code.c_str() || *end != '\0')
+                return fail("malformed status code");
+            if (sp2 != std::string_view::npos)
+                resp.reason = std::string(line.substr(sp2 + 1));
+            continue;
+        }
+        if (line.empty())
+            continue;
+        const std::size_t colon = line.find(':');
+        if (colon == std::string_view::npos || colon == 0)
+            return fail("malformed header line");
+        std::string value(line.substr(colon + 1));
+        const std::size_t ns = value.find_first_not_of(" \t");
+        value = ns == std::string::npos ? "" : value.substr(ns);
+        resp.headers.emplace_back(
+            toLower(std::string(line.substr(0, colon))),
+            std::move(value));
+    }
+    resp.body = raw.substr(body_start);
+    if (out)
+        *out = std::move(resp);
+    return true;
+}
+
+const char *
+httpReason(int status)
+{
+    switch (status) {
+      case 200: return "OK";
+      case 400: return "Bad Request";
+      case 404: return "Not Found";
+      case 405: return "Method Not Allowed";
+      case 429: return "Too Many Requests";
+      case 500: return "Internal Server Error";
+      case 503: return "Service Unavailable";
+      default: return "Unknown";
+    }
+}
+
+std::string
+httpResponse(int status, const std::string &content_type,
+             const std::string &body,
+             const std::vector<std::string> &extra_headers)
+{
+    std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
+                      httpReason(status) + "\r\n";
+    out += "Content-Type: " + content_type + "\r\n";
+    out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    for (const auto &h : extra_headers)
+        out += h + "\r\n";
+    out += "Connection: close\r\n\r\n";
+    out += body;
+    return out;
+}
+
+std::string
+percentDecode(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] == '+') {
+            out += ' ';
+            continue;
+        }
+        if (s[i] == '%' && i + 2 < s.size()) {
+            const int hi = hexValue(s[i + 1]);
+            const int lo = hexValue(s[i + 2]);
+            if (hi >= 0 && lo >= 0) {
+                out += static_cast<char>(hi * 16 + lo);
+                i += 2;
+                continue;
+            }
+        }
+        out += s[i];
+    }
+    return out;
+}
+
+std::string
+percentEncode(const std::string &s)
+{
+    static const char *hex = "0123456789ABCDEF";
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        const bool safe = (c >= 'a' && c <= 'z') ||
+                          (c >= 'A' && c <= 'Z') ||
+                          (c >= '0' && c <= '9') || c == '-' ||
+                          c == '_' || c == '.' || c == '~' || c == '/';
+        if (safe) {
+            out += static_cast<char>(c);
+        } else {
+            out += '%';
+            out += hex[c >> 4];
+            out += hex[c & 0xf];
+        }
+    }
+    return out;
+}
+
+} // namespace mgx::serve

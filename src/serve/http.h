@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Minimal HTTP/1.1 framing for the experiment service: an incremental
+ * request parser for the server side, a response parser for the client
+ * side, and percent-encoding helpers for query strings.
+ *
+ * Deliberately tiny — mgx_serve speaks one request per connection with
+ * `Connection: close` over a local socket, so there is no chunked
+ * encoding, no keep-alive, no multipart. Requests are capped at 1 MiB
+ * so a confused peer cannot balloon the daemon.
+ */
+
+#ifndef MGX_SERVE_HTTP_H
+#define MGX_SERVE_HTTP_H
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mgx::serve {
+
+/** One parsed request: request line, split query, headers, body. */
+struct HttpRequest
+{
+    std::string method;  ///< "GET", "POST", ...
+    std::string target;  ///< raw request target, e.g. "/run?w=x"
+    std::string path;    ///< target up to '?', percent-decoded
+    /// Query parameters in declaration order, percent-decoded;
+    /// repeated keys are preserved (e.g. several workload=).
+    std::vector<std::pair<std::string, std::string>> query;
+    /// Header name (lower-cased) / value pairs in arrival order.
+    std::vector<std::pair<std::string, std::string>> headers;
+    std::string body;
+
+    /** First value of query key @p key, if present. */
+    std::optional<std::string> queryValue(const std::string &key) const;
+
+    /** Every value of query key @p key, in order. */
+    std::vector<std::string> queryValues(const std::string &key) const;
+
+    /** Value of header @p name (case-insensitive), if present. */
+    std::optional<std::string> header(const std::string &name) const;
+};
+
+/**
+ * Incremental parser: feed() bytes as they arrive off the socket until
+ * the status leaves Incomplete. Tolerates bare-LF line endings. On
+ * Error, error() holds a one-line description and the connection
+ * should answer 400 and close.
+ */
+class HttpRequestParser
+{
+  public:
+    enum class Status { Incomplete, Complete, Error };
+
+    Status feed(const char *data, std::size_t n);
+
+    Status status() const { return status_; }
+    const HttpRequest &request() const { return request_; }
+    const std::string &error() const { return error_; }
+
+  private:
+    Status parseBuffered();
+    Status fail(const std::string &message);
+
+    std::string buffer_;
+    HttpRequest request_;
+    std::string error_;
+    Status status_ = Status::Incomplete;
+};
+
+/** A parsed response (client side). */
+struct HttpResponse
+{
+    int status = 0;
+    std::string reason;
+    std::vector<std::pair<std::string, std::string>> headers;
+    std::string body;
+};
+
+/**
+ * Parse a complete raw response (read to EOF — the service always
+ * closes after one response). Returns false with @p error set on
+ * malformed input.
+ */
+bool parseHttpResponse(const std::string &raw, HttpResponse *out,
+                       std::string *error);
+
+/**
+ * Serialize a complete response with Content-Length and
+ * `Connection: close`. @p extra_headers lines are inserted verbatim
+ * (no trailing CRLF).
+ */
+std::string
+httpResponse(int status, const std::string &content_type,
+             const std::string &body,
+             const std::vector<std::string> &extra_headers = {});
+
+/** The standard reason phrase for the handful of codes we emit. */
+const char *httpReason(int status);
+
+/** %XX-decode @p s (also turns '+' into ' '). */
+std::string percentDecode(const std::string &s);
+
+/** Encode @p s so it is safe inside one query value. */
+std::string percentEncode(const std::string &s);
+
+} // namespace mgx::serve
+
+#endif // MGX_SERVE_HTTP_H

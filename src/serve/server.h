@@ -1,0 +1,176 @@
+/**
+ * @file
+ * The experiment service: a long-running daemon that accepts
+ * workload x platform x scheme requests over a local socket (unix
+ * path or TCP loopback), runs them through sim::Experiment, and
+ * answers with the same `mgx-resultset-v1` JSON that `mgx_run --json`
+ * writes — byte-identical for the same grid, so clients can switch
+ * between the CLI and the service without re-baselining artifacts.
+ *
+ * Endpoints (HTTP/1.1, one request per connection, Connection: close):
+ *
+ *   GET /run?workload=W[&workload=W2...][&platforms=cloud,edge]
+ *           [&schemes=NP,MGX,...]
+ *       Run the grid; 200 with the resultset JSON, 400 on unknown
+ *       workloads / platforms / schemes (the registry's own message).
+ *   GET /stats
+ *       Operational counters as `mgx-servestats-v1` JSON.
+ *   GET /shutdown
+ *       Acknowledge, then begin graceful shutdown.
+ *
+ * Concurrency model — three layers:
+ *
+ *   admission   A bounded connection queue between one acceptor
+ *               thread and N worker threads. When the queue is full
+ *               the acceptor answers 429 immediately instead of
+ *               letting latency grow unboundedly (explicit
+ *               back-pressure; clients retry or go run mgx_run).
+ *   coalescing  Each grid cell runs under a SingleFlight keyed by
+ *               workload|platform|scheme: concurrent requests that
+ *               resolve to the same cell cost one engine run, the
+ *               rest are followers (metrics.dedupCollapsed).
+ *   cache       Cells share the on-disk trace cache; the per-key
+ *               flock (sim::TraceCacheLock) extends "generate once"
+ *               across processes sharing the directory.
+ *
+ * Graceful shutdown: stop accepting, drain the queued and in-flight
+ * requests, join every thread. Connections arriving while draining
+ * get 503.
+ */
+
+#ifndef MGX_SERVE_SERVER_H
+#define MGX_SERVE_SERVER_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "http.h"
+#include "metrics.h"
+#include "singleflight.h"
+#include "sim/experiment.h"
+
+namespace mgx::serve {
+
+/** Where to listen / connect: unix path if set, else TCP loopback. */
+struct SocketAddress
+{
+    std::string unixPath; ///< non-empty selects AF_UNIX
+    std::string host = "127.0.0.1";
+    u16 port = 0; ///< 0 = kernel-assigned (see Server::port())
+};
+
+struct ServerOptions
+{
+    SocketAddress listen;
+    u32 workers = 2;                  ///< request handler threads
+    std::size_t admissionCapacity = 16; ///< queued connections before 429
+    std::string traceCacheDir;        ///< "" = no trace cache
+    u64 traceCacheMaxBytes = 0;       ///< LRU cap (needs traceCacheDir)
+    int ioTimeoutMs = 30000;          ///< per-connection read/write timeout
+};
+
+/** One grid cell: the unit of deduplication. */
+struct CellKey
+{
+    std::string workload;
+    sim::Platform platform;
+    protection::Scheme scheme = protection::Scheme::NP;
+
+    /** The singleflight key. */
+    std::string key() const;
+};
+
+/** What one cell's run produced. */
+struct CellOutcome
+{
+    sim::RunRecord record;
+    u64 cacheHits = 0;
+    u64 cacheMisses = 0;
+};
+
+/**
+ * How a cell is simulated; injectable so tests can substitute a
+ * deterministic (or deliberately blocking) runner.
+ */
+using CellRunner = std::function<CellOutcome(const CellKey &)>;
+
+class Server
+{
+  public:
+    explicit Server(ServerOptions opts);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Bind, listen, and spawn the acceptor + workers. Fatal on bind
+     *  failure (the address is caller-chosen configuration). */
+    void start();
+
+    /** The bound TCP port (after start(); meaningless for unix). */
+    u16 port() const { return boundPort_; }
+
+    /** Human-readable bound address, e.g. "unix:/tmp/x.sock". */
+    std::string addressDescription() const;
+
+    /** Stop admission and begin draining; returns immediately. */
+    void requestShutdown();
+
+    /** requestShutdown() + drain queued and in-flight + join threads.
+     *  Idempotent; also run by the destructor. */
+    void shutdown();
+
+    bool stopping() const;
+
+    ServeMetrics::Snapshot metricsSnapshot() const;
+
+    /** Replace the engine-backed cell runner (tests only). */
+    void setCellRunnerForTest(CellRunner runner);
+
+    /** The per-cell flight table (tests observe waiters()). */
+    SingleFlight<CellOutcome> &cellFlights() { return flights_; }
+
+  private:
+    void acceptLoop();
+    void workerLoop();
+    void handleConnection(int fd);
+    std::string handleRequest(const HttpRequest &req, int *status_out);
+    std::string handleRun(const HttpRequest &req, int *status_out);
+    CellOutcome runCellWithEngine(const CellKey &cell) const;
+    bool validateWorkload(const std::string &name, std::string *error);
+    void sendAll(int fd, const std::string &data) const;
+
+    ServerOptions opts_;
+    ServeMetrics metrics_;
+    SingleFlight<CellOutcome> flights_;
+    CellRunner runner_; ///< set in start(); engine-backed by default
+
+    int listenFd_ = -1;
+    u16 boundPort_ = 0;
+    bool started_ = false;
+    bool joined_ = false;
+
+    std::thread acceptor_;
+    std::vector<std::thread> workers_;
+
+    mutable std::mutex qmu_;
+    std::condition_variable qcv_;
+    std::deque<int> pending_; ///< accepted fds awaiting a worker
+    bool draining_ = false;   ///< guarded by qmu_
+
+    std::mutex validmu_;
+    /// workload name -> registry error ("" = known-good); memoized so
+    /// repeated requests skip kernel construction during validation.
+    std::map<std::string, std::string> validation_;
+};
+
+} // namespace mgx::serve
+
+#endif // MGX_SERVE_SERVER_H

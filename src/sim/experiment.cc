@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <map>
+#include <memory>
 #include <thread>
 
 #include "common/log.h"
@@ -458,13 +459,41 @@ Experiment::run() const
             return;
         }
         const std::string file = cacheFilePath(jobs[i]);
-        if (std::filesystem::exists(file)) {
+        // Hit probe, shared by the fast path and the post-lock
+        // re-check. The cache is shared across processes, so a foreign
+        // evictor may delete the file at any instant: the materialized
+        // path opens first and only counts a hit when the open
+        // succeeded (an exists()-then-read pair would be fatal in
+        // between), the streaming path leaves the open to phase 2,
+        // which already falls back to the kernel.
+        const auto tryHit = [&]() -> bool {
+            if (!streaming_) {
+                auto trace = readTraceFileIfReadable(file);
+                if (!trace)
+                    return false;
+                traces[i] = std::move(*trace);
+            } else {
+                std::error_code ec;
+                if (!std::filesystem::exists(file, ec) || ec)
+                    return false;
+            }
             std::error_code ec;
             std::filesystem::last_write_time(
                 file, std::filesystem::file_time_type::clock::now(),
                 ec); // touch-on-hit keeps mtime order = LRU order
-            if (!streaming_)
-                traces[i] = readTraceFile(file);
+            return true;
+        };
+        if (tryHit()) {
+            cache_hits.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+        // Miss: take the per-key cross-process lock so two processes
+        // missing on the same key generate once between them — the
+        // loser of the race waits here, then finds the winner's file
+        // on the re-check. (In-process, distinct jobs have distinct
+        // keys, so the lock never self-serializes a grid.)
+        TraceCacheLock lock(file);
+        if (tryHit()) {
             cache_hits.fetch_add(1, std::memory_order_relaxed);
             return;
         }
@@ -536,14 +565,31 @@ Experiment::run() const
                 return;
             }
             if (job.deferred) {
-                // Single-cell cache miss: stream the kernel once,
-                // teeing each phase into the cache file on the
-                // producer thread while this thread replays it.
+                // Single-cell cache miss: take the per-key
+                // cross-process lock (another process may be
+                // generating this very key right now), re-check, and
+                // only then stream the kernel once, teeing each phase
+                // into the cache file on the producer thread while
+                // this thread replays it.
+                auto lock = std::make_unique<TraceCacheLock>(file);
+                if (auto raced =
+                        FilePhaseSource::openIfReadable(file)) {
+                    lock.reset(); // published while we waited: a hit
+                    std::error_code ec;
+                    std::filesystem::last_write_time(
+                        file,
+                        std::filesystem::file_time_type::clock::now(),
+                        ec);
+                    cache_hits.fetch_add(1, std::memory_order_relaxed);
+                    replay(*raced, nullptr);
+                    return;
+                }
                 auto kernel = makeKernel(job.name, job.platform);
                 auto source = kernel->stream();
                 TraceFileWriteSink sink(file);
                 replay(*source, &sink);
                 sink.finish();
+                lock.reset(); // publish happened; waiters can hit now
                 cache_misses.fetch_add(1, std::memory_order_relaxed);
                 return;
             }

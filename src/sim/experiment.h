@@ -172,6 +172,13 @@ class Experiment
      * Explicit traces added with trace() are never cached. Cache hits
      * refresh the file's mtime, so the LRU size cap (see
      * traceCacheMaxBytes) evicts the least recently *used* trace.
+     *
+     * The directory is safe to share between concurrent processes
+     * (several experiments, a serving daemon plus mgx_run, ...):
+     * publishes are atomic tmp+rename, a per-key flock
+     * (TraceCacheLock) makes concurrent misses on one key generate
+     * exactly once between all processes, and a reader racing a
+     * foreign eviction falls back to streaming the kernel directly.
      */
     Experiment &traceCacheDir(const std::string &dir);
 

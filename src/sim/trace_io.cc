@@ -1,11 +1,15 @@
 #include "trace_io.h"
 
+#include <cerrno>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
 
+#include <fcntl.h>
+#include <sys/file.h>
 #include <unistd.h>
 
 #include "common/log.h"
@@ -185,6 +189,43 @@ readTraceFile(const std::string &path)
     if (!in)
         fatal("cannot read trace file '%s'", path.c_str());
     return readTrace(in);
+}
+
+std::optional<core::Trace>
+readTraceFileIfReadable(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return std::nullopt;
+    return readTrace(in);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-process cache-key lock
+// ---------------------------------------------------------------------------
+
+TraceCacheLock::TraceCacheLock(const std::string &trace_path)
+    : lockPath_(trace_path + ".lock")
+{
+    fd_ = ::open(lockPath_.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+    if (fd_ < 0)
+        fatal("cannot open trace-cache lock '%s': %s",
+              lockPath_.c_str(), std::strerror(errno));
+    while (::flock(fd_, LOCK_EX) != 0) {
+        if (errno == EINTR)
+            continue;
+        const int err = errno;
+        ::close(fd_);
+        fatal("cannot lock trace-cache lock '%s': %s",
+              lockPath_.c_str(), std::strerror(err));
+    }
+}
+
+TraceCacheLock::~TraceCacheLock()
+{
+    // close() releases the flock; the .lock file stays (see header).
+    ::flock(fd_, LOCK_UN);
+    ::close(fd_);
 }
 
 // ---------------------------------------------------------------------------

@@ -23,6 +23,7 @@
 
 #include <iosfwd>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "core/phase.h"
@@ -47,6 +48,45 @@ core::Trace traceFromString(const std::string &text);
 
 /** Read a trace from @p path. Fatal on IO or parse errors. */
 core::Trace readTraceFile(const std::string &path);
+
+/**
+ * Non-fatal variant of readTraceFile: nullopt when @p path cannot be
+ * opened — for callers racing a concurrent evictor in a shared trace
+ * cache (the file is either absent or complete, thanks to the atomic
+ * tmp+rename publish, so parse errors stay fatal).
+ */
+std::optional<core::Trace>
+readTraceFileIfReadable(const std::string &path);
+
+/**
+ * Cross-process mutual exclusion around one trace-cache key: an
+ * exclusive advisory flock(2) on `<path>.lock`, held for the object's
+ * lifetime. Two processes (or two threads — each acquisition opens
+ * its own descriptor) missing on the same key serialize here, so only
+ * the first generates the trace; the second re-checks after acquiring
+ * and finds the published file. The kernel drops the lock when the
+ * holder dies, so a crashed generator never wedges the key. The
+ * `.lock` file itself is left behind (unlinking it would race new
+ * acquirers); LRU eviction only ever deletes `*.trace` files, so the
+ * locks never collide with it.
+ */
+class TraceCacheLock
+{
+  public:
+    /** Blocks until the lock on `<trace_path>.lock` is held. Fatal on
+     *  IO errors (e.g. the cache directory vanished). */
+    explicit TraceCacheLock(const std::string &trace_path);
+    ~TraceCacheLock();
+
+    TraceCacheLock(const TraceCacheLock &) = delete;
+    TraceCacheLock &operator=(const TraceCacheLock &) = delete;
+
+    const std::string &lockPath() const { return lockPath_; }
+
+  private:
+    std::string lockPath_;
+    int fd_ = -1;
+};
 
 /**
  * Atomically publish @p trace at @p path: serialize into a

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdarg>
+#include <cstdio>
 #include <cstdlib>
 #include <utility>
 
@@ -16,6 +18,28 @@
 
 namespace mgx::sim {
 namespace {
+
+/**
+ * Registry errors are thrown internally so a long-running service can
+ * reject a bad request (tryMakeKernel) without dying; the classic
+ * makeKernel() surface converts them back to fatal() for the CLI and
+ * tools, with byte-identical messages.
+ */
+struct BadWorkload
+{
+    std::string message;
+};
+
+[[noreturn]] __attribute__((format(printf, 1, 2))) void
+badWorkload(const char *fmt, ...)
+{
+    char buf[512];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buf, sizeof buf, fmt, args);
+    va_end(args);
+    throw BadWorkload{buf};
+}
 
 std::string
 toLower(std::string s)
@@ -53,7 +77,7 @@ class Query
         for (const auto &kv : split(query, '&')) {
             std::size_t eq = kv.find('=');
             if (eq == std::string::npos || eq == 0)
-                fatal("workload '%s': malformed parameter '%s'",
+                badWorkload("workload '%s': malformed parameter '%s'",
                       name.c_str(), kv.c_str());
             params_.emplace_back(toLower(kv.substr(0, eq)),
                                  kv.substr(eq + 1));
@@ -82,7 +106,7 @@ class Query
         char *end = nullptr;
         u64 parsed = std::strtoull(v.c_str(), &end, 10);
         if (end == v.c_str() || *end != '\0')
-            fatal("workload '%s': parameter %s=%s is not a number",
+            badWorkload("workload '%s': parameter %s=%s is not a number",
                   name_.c_str(), key.c_str(), v.c_str());
         return parsed;
     }
@@ -96,7 +120,7 @@ class Query
         char *end = nullptr;
         double parsed = std::strtod(v.c_str(), &end);
         if (end == v.c_str() || *end != '\0')
-            fatal("workload '%s': parameter %s=%s is not a number",
+            badWorkload("workload '%s': parameter %s=%s is not a number",
                   name_.c_str(), key.c_str(), v.c_str());
         return parsed;
     }
@@ -108,7 +132,7 @@ class Query
         for (const auto &p : params_) {
             if (std::find(consumed_.begin(), consumed_.end(),
                           p.first) == consumed_.end())
-                fatal("workload '%s': unknown parameter '%s'",
+                badWorkload("workload '%s': unknown parameter '%s'",
                       name_.c_str(), p.first.c_str());
         }
     }
@@ -136,7 +160,7 @@ parseName(const std::string &name)
         qpos == std::string::npos ? "" : name.substr(qpos + 1);
     std::vector<std::string> segs = split(path_part, '/');
     if (segs.size() < 2 || segs[0].empty() || segs[1].empty())
-        fatal("workload '%s': expected domain/name[?params]",
+        badWorkload("workload '%s': expected domain/name[?params]",
               name.c_str());
     ParsedName parsed{toLower(segs[0]),
                       {segs.begin() + 1, segs.end()},
@@ -160,7 +184,7 @@ canonicalModel(const std::string &name, const std::string &model)
     for (const auto &[alias, display] : kModels)
         if (key == alias)
             return display;
-    fatal("workload '%s': unknown DNN model '%s'", name.c_str(),
+    badWorkload("workload '%s': unknown DNN model '%s'", name.c_str(),
           model.c_str());
 }
 
@@ -168,7 +192,7 @@ std::unique_ptr<core::Kernel>
 makeDnn(const std::string &name, ParsedName &p, bool edge_platform)
 {
     if (p.path.size() != 1)
-        fatal("workload '%s': expected dnn/<model>", name.c_str());
+        badWorkload("workload '%s': expected dnn/<model>", name.c_str());
     const std::string model = canonicalModel(name, p.path[0]);
 
     const std::string task_str =
@@ -179,7 +203,7 @@ makeDnn(const std::string &name, ParsedName &p, bool edge_platform)
     else if (task_str == "training")
         task = dnn::DnnTask::Training;
     else
-        fatal("workload '%s': task must be inference or training",
+        badWorkload("workload '%s': task must be inference or training",
               name.c_str());
 
     const std::string accel_str = toLower(p.query.str("accel"));
@@ -189,7 +213,7 @@ makeDnn(const std::string &name, ParsedName &p, bool edge_platform)
     else if (accel_str == "edge")
         edge = true;
     else if (!accel_str.empty())
-        fatal("workload '%s': accel must be cloud or edge",
+        badWorkload("workload '%s': accel must be cloud or edge",
               name.c_str());
 
     const u32 batch = static_cast<u32>(p.query.num("batch", 0));
@@ -209,8 +233,16 @@ std::unique_ptr<core::Kernel>
 makeGraph(const std::string &name, ParsedName &p)
 {
     if (p.path.size() != 2)
-        fatal("workload '%s': expected graph/<name>/<algorithm>",
+        badWorkload("workload '%s': expected graph/<name>/<algorithm>",
               name.c_str());
+    // graphByName() is fatal-on-unknown (it lives below the registry's
+    // throw boundary), so check existence here first.
+    const auto specs = graph::paperGraphs();
+    if (std::none_of(specs.begin(), specs.end(), [&](const auto &s) {
+            return s.name == p.path[0];
+        }))
+        badWorkload("workload '%s': unknown graph '%s'", name.c_str(),
+                    p.path[0].c_str());
     graph::GraphSpec spec = graph::graphByName(p.path[0]);
 
     const std::string alg_str = toLower(p.path[1]);
@@ -222,7 +254,7 @@ makeGraph(const std::string &name, ParsedName &p)
     else if (alg_str == "sssp")
         alg = graph::GraphAlgorithm::SSSP;
     else
-        fatal("workload '%s': algorithm must be pagerank, bfs or sssp",
+        badWorkload("workload '%s': algorithm must be pagerank, bfs or sssp",
               name.c_str());
 
     // The figure-14 defaults: PageRank converges in 3 sweeps on the
@@ -239,7 +271,7 @@ makeGraph(const std::string &name, ParsedName &p)
     else if (vec_str == "random")
         vec = graph::VectorAccess::Random;
     else
-        fatal("workload '%s': vector must be seq or random",
+        badWorkload("workload '%s': vector must be seq or random",
               name.c_str());
     p.query.finish();
 
@@ -254,7 +286,7 @@ std::unique_ptr<core::Kernel>
 makeGenome(const std::string &name, ParsedName &p)
 {
     if (p.path.size() != 1)
-        fatal("workload '%s': expected genome/<workload>",
+        badWorkload("workload '%s': expected genome/<workload>",
               name.c_str());
     const std::string key = toLower(p.path[0]);
     // Bare chromosome names are the whole-chromosome PacBio runs the
@@ -277,7 +309,7 @@ makeGenome(const std::string &name, ParsedName &p)
     for (const auto &w : genome::paperWorkloads(reads))
         if (toLower(w.name) == key)
             return std::make_unique<genome::GenomeKernel>(w);
-    fatal("workload '%s': unknown GACT workload '%s'", name.c_str(),
+    badWorkload("workload '%s': unknown GACT workload '%s'", name.c_str(),
           p.path[0].c_str());
 }
 
@@ -285,7 +317,7 @@ std::unique_ptr<core::Kernel>
 makeVideo(const std::string &name, ParsedName &p)
 {
     if (p.path.size() != 1 || toLower(p.path[0]) != "h264")
-        fatal("workload '%s': expected video/h264", name.c_str());
+        badWorkload("workload '%s': expected video/h264", name.c_str());
     video::VideoConfig cfg;
     cfg.numFrames = static_cast<u32>(p.query.num("frames", cfg.numFrames));
     cfg.width = static_cast<u32>(p.query.num("width", cfg.width));
@@ -299,7 +331,7 @@ std::unique_ptr<core::Kernel>
 makeMatMul(const std::string &name, ParsedName &p)
 {
     if (p.path.size() != 1 || toLower(p.path[0]) != "matmul")
-        fatal("workload '%s': expected core/matmul", name.c_str());
+        badWorkload("workload '%s': expected core/matmul", name.c_str());
     core::MatMulParams params;
     params.m = p.query.num("m", params.m);
     params.n = p.query.num("n", params.n);
@@ -311,10 +343,8 @@ makeMatMul(const std::string &name, ParsedName &p)
     return std::make_unique<core::MatMulKernel>(params);
 }
 
-} // namespace
-
 std::unique_ptr<core::Kernel>
-makeKernel(const std::string &name, const Platform &platform)
+makeKernelImpl(const std::string &name, const Platform &platform)
 {
     ParsedName p = parseName(name);
     if (p.domain == "dnn")
@@ -327,8 +357,20 @@ makeKernel(const std::string &name, const Platform &platform)
         return makeVideo(name, p);
     if (p.domain == "core")
         return makeMatMul(name, p);
-    fatal("workload '%s': unknown domain '%s'", name.c_str(),
+    badWorkload("workload '%s': unknown domain '%s'", name.c_str(),
           p.domain.c_str());
+}
+
+} // namespace
+
+std::unique_ptr<core::Kernel>
+makeKernel(const std::string &name, const Platform &platform)
+{
+    try {
+        return makeKernelImpl(name, platform);
+    } catch (const BadWorkload &e) {
+        fatal("%s", e.message.c_str());
+    }
 }
 
 std::unique_ptr<core::Kernel>
@@ -337,10 +379,29 @@ makeKernel(const std::string &name)
     return makeKernel(name, defaultPlatform(name));
 }
 
+std::unique_ptr<core::Kernel>
+tryMakeKernel(const std::string &name, const Platform &platform,
+              std::string *error)
+{
+    try {
+        return makeKernelImpl(name, platform);
+    } catch (const BadWorkload &e) {
+        if (error)
+            *error = e.message;
+        return nullptr;
+    }
+}
+
 std::string
 traceCacheKey(const std::string &name, const Platform &platform)
 {
-    ParsedName p = parseName(name);
+    ParsedName p = [&] {
+        try {
+            return parseName(name);
+        } catch (const BadWorkload &e) {
+            fatal("%s", e.message.c_str());
+        }
+    }();
     if (p.domain != "dnn")
         return name;
     // DNN tiling follows the accelerator's SRAM, so the trace is
@@ -354,7 +415,13 @@ traceCacheKey(const std::string &name, const Platform &platform)
 Platform
 defaultPlatform(const std::string &name)
 {
-    const std::string domain = parseName(name).domain;
+    const std::string domain = [&] {
+        try {
+            return parseName(name).domain;
+        } catch (const BadWorkload &e) {
+            fatal("%s", e.message.c_str());
+        }
+    }();
     if (domain == "graph")
         return graphPlatform();
     // The H.264 study and GACT share the 800 MHz / 4-channel platform.

@@ -61,6 +61,18 @@ std::unique_ptr<core::Kernel> makeKernel(const std::string &name,
                                          const Platform &platform);
 
 /**
+ * Non-fatal variant of makeKernel for long-running services: any
+ * registry error — malformed name, unknown workload, bad or unknown
+ * parameters — returns nullptr with @p error set (same message
+ * makeKernel would have died with) instead of exiting the process.
+ * The admission layer of mgx_serve validates every requested workload
+ * through this before committing an engine run.
+ */
+std::unique_ptr<core::Kernel> tryMakeKernel(const std::string &name,
+                                            const Platform &platform,
+                                            std::string *error);
+
+/**
  * Key under which @p name's generated trace may be cached when run on
  * @p platform. Equal keys guarantee equal traces: platform-independent
  * workloads share one key across platforms (so a Cloud+Edge grid

@@ -12,11 +12,16 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <filesystem>
+#include <fstream>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include "core/phase_ring.h"
 #include "sim/experiment.h"
@@ -350,10 +355,18 @@ TEST(PipelineTraceCache, TeePopulatesCacheWhileReplaying)
 
     // Exactly one published trace file, byte-equivalent to the
     // kernel's materialized trace (no half-written temporary left).
+    // The per-key .lock file stays behind on purpose: unlinking it
+    // would race other lockers onto a fresh inode.
     std::vector<fs::path> files;
-    for (const auto &e : fs::directory_iterator(dir))
-        files.push_back(e.path());
+    std::size_t locks = 0;
+    for (const auto &e : fs::directory_iterator(dir)) {
+        if (e.path().extension() == ".lock")
+            ++locks;
+        else
+            files.push_back(e.path());
+    }
     ASSERT_EQ(files.size(), 1u);
+    EXPECT_EQ(locks, 1u);
     EXPECT_EQ(files[0].extension(), ".trace");
     core::Trace expected = makeKernel(w)->generate();
     EXPECT_EQ(traceToString(readTraceFile(files[0].string())),
@@ -434,6 +447,151 @@ TEST(EvictionRace, ConcurrentEvictorStaysBitwiseIdentical)
     }
     stop.store(true, std::memory_order_relaxed);
     evictor.join();
+    fs::remove_all(dir);
+}
+
+TEST(EvictionRace, ForeignProcessEvictorStaysBitwiseIdentical)
+{
+    // Same contract as above, but the evictor is another *process*
+    // (a shell rm-loop), so it exercises the cross-process story:
+    // atomic tmp+rename publishes, the per-key flock, and the
+    // open-then-probe fallbacks — a foreign unlink can land between
+    // any two filesystem calls here, which no in-process evictor
+    // interleaving guarantees.
+    const fs::path dir =
+        fs::temp_directory_path() / "mgx_foreign_evict_test";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    const std::string stop_flag = (dir / "stop.flag").string();
+
+    const std::string w = "core/matmul?m=128&n=128&k=128";
+    const RunResult baseline = runSerial(w, Scheme::BP);
+    // The materialized path's own baseline: its footprint fields
+    // (traceBytes, peakPhaseBytes) describe holding the whole trace,
+    // so they differ from the streamed run's by design.
+    const ResultSet materialized_rs = Experiment()
+                                          .workload(w)
+                                          .schemes({Scheme::BP})
+                                          .threads(1)
+                                          .streaming(false)
+                                          .run();
+    ASSERT_EQ(materialized_rs.records().size(), 1u);
+    const RunResult baseline_mat = materialized_rs.records()[0].result;
+
+    const std::string cmd = "while [ ! -e '" + stop_flag +
+                            "' ]; do rm -f '" + dir.string() +
+                            "'/*.trace 2>/dev/null; done";
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        // Exec immediately: nothing but the shell runs in the child,
+        // which keeps the fork safe under ThreadSanitizer.
+        ::execl("/bin/sh", "sh", "-c", cmd.c_str(),
+                static_cast<char *>(nullptr));
+        ::_exit(127);
+    }
+
+    for (int i = 0; i < 9; ++i) {
+        // Rotate the replay mode so the foreign unlink hits the
+        // streamed, pipelined and materialized cache paths in turn.
+        Experiment e;
+        e.workload(w)
+            .schemes({Scheme::BP})
+            .threads(2)
+            .traceCacheDir(dir.string());
+        if (i % 3 == 0)
+            e.pipelined(false);
+        else if (i % 3 == 1)
+            e.pipelined(true);
+        else
+            e.streaming(false);
+        const ResultSet rs = e.run();
+        ASSERT_EQ(rs.records().size(), 1u);
+        expectBitwiseEqual(i % 3 == 2 ? baseline_mat : baseline,
+                           rs.records()[0].result,
+                           "foreign-evictor iteration " +
+                               std::to_string(i));
+    }
+
+    std::ofstream(stop_flag) << "stop\n";
+    int status = 0;
+    EXPECT_EQ(::waitpid(pid, &status, 0), pid);
+    EXPECT_TRUE(WIFEXITED(status));
+    fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------
+// Trace-cache key locks (cross-process generate-once)
+// ---------------------------------------------------------------------
+
+TEST(TraceCacheLockTest, ConcurrentMissesGenerateExactlyOnce)
+{
+    // The probe / lock / re-probe pattern Experiment::run uses around
+    // cache misses: whoever wins the flock generates; everyone else
+    // re-probes under the lock and finds the published file.
+    const fs::path dir =
+        fs::temp_directory_path() / "mgx_cachelock_once_test";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    const std::string file = (dir / "key.trace").string();
+
+    const core::Trace trace =
+        makeKernel("video/h264?frames=2")->generate();
+    std::atomic<int> generations{0};
+
+    std::vector<std::thread> threads;
+    for (int i = 0; i < 4; ++i) {
+        threads.emplace_back([&] {
+            if (readTraceFileIfReadable(file))
+                return;
+            TraceCacheLock lock(file);
+            if (readTraceFileIfReadable(file))
+                return; // someone generated while we waited
+            writeTraceFile(trace, file);
+            generations.fetch_add(1);
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    EXPECT_EQ(generations.load(), 1);
+    const auto readback = readTraceFileIfReadable(file);
+    ASSERT_TRUE(readback.has_value());
+    EXPECT_EQ(traceToString(*readback), traceToString(trace));
+    // The lock file is deliberately left behind (unlink would race);
+    // eviction never touches it because it only deletes *.trace.
+    EXPECT_TRUE(fs::exists(file + ".lock"));
+    enforceTraceCacheLimit(dir.string(), 0);
+    EXPECT_FALSE(fs::exists(file));
+    EXPECT_TRUE(fs::exists(file + ".lock"));
+    fs::remove_all(dir);
+}
+
+TEST(TraceCacheLockTest, SecondLockerBlocksUntilRelease)
+{
+    const fs::path dir =
+        fs::temp_directory_path() / "mgx_cachelock_block_test";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    const std::string file = (dir / "key.trace").string();
+
+    std::atomic<bool> holding{false};
+    std::atomic<bool> released{false};
+
+    std::thread holder([&] {
+        TraceCacheLock lock(file);
+        holding.store(true, std::memory_order_release);
+        // Hold long enough that the contender is provably blocked in
+        // its constructor before we let go.
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        released.store(true, std::memory_order_release);
+    });
+
+    while (!holding.load(std::memory_order_acquire))
+        std::this_thread::yield();
+    TraceCacheLock lock(file); // blocks until the holder's dtor
+    EXPECT_TRUE(released.load(std::memory_order_acquire));
+    holder.join();
     fs::remove_all(dir);
 }
 

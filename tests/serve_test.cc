@@ -1,0 +1,607 @@
+/**
+ * @file
+ * Experiment-service tests: HTTP request/response framing units, the
+ * SingleFlight coalescing semantics (deterministic via waiters()),
+ * and end-to-end Server tests over a unix socket — resultset parity
+ * with the Experiment API, request dedup, queue-full back-pressure,
+ * and graceful-shutdown draining. Runs under ThreadSanitizer in CI
+ * alongside the other threaded suites.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "serve/client.h"
+#include "serve/http.h"
+#include "serve/server.h"
+#include "serve/singleflight.h"
+#include "sim/report.h"
+#include "sim/workload_registry.h"
+
+namespace mgx::serve {
+namespace {
+
+using Parser = HttpRequestParser;
+
+// ---------------------------------------------------------------------
+// HTTP framing units
+// ---------------------------------------------------------------------
+
+TEST(Http, ParsesSimpleGet)
+{
+    Parser p;
+    const std::string raw = "GET /stats HTTP/1.1\r\n"
+                            "Host: mgx\r\n"
+                            "Connection: close\r\n\r\n";
+    EXPECT_EQ(p.feed(raw.data(), raw.size()),
+              Parser::Status::Complete);
+    EXPECT_EQ(p.request().method, "GET");
+    EXPECT_EQ(p.request().target, "/stats");
+    EXPECT_EQ(p.request().path, "/stats");
+    EXPECT_EQ(p.request().header("host").value_or(""), "mgx");
+    EXPECT_EQ(p.request().header("HOST").value_or(""), "mgx");
+    EXPECT_TRUE(p.request().body.empty());
+}
+
+TEST(Http, ParsesByteByByte)
+{
+    Parser p;
+    const std::string raw =
+        "GET /run?workload=core%2Fmatmul&schemes=NP HTTP/1.1\r\n\r\n";
+    for (std::size_t i = 0; i + 1 < raw.size(); ++i)
+        ASSERT_EQ(p.feed(&raw[i], 1), Parser::Status::Incomplete)
+            << "byte " << i;
+    EXPECT_EQ(p.feed(&raw[raw.size() - 1], 1),
+              Parser::Status::Complete);
+    EXPECT_EQ(p.request().path, "/run");
+    EXPECT_EQ(p.request().queryValue("workload").value_or(""),
+              "core/matmul");
+    EXPECT_EQ(p.request().queryValue("schemes").value_or(""), "NP");
+}
+
+TEST(Http, QueryDecodingAndRepeatedKeys)
+{
+    Parser p;
+    const std::string raw =
+        "GET /run?workload=a%3Fb%3D1&workload=c+d&empty= "
+        "HTTP/1.1\r\n\r\n";
+    ASSERT_EQ(p.feed(raw.data(), raw.size()),
+              Parser::Status::Complete);
+    const auto values = p.request().queryValues("workload");
+    ASSERT_EQ(values.size(), 2u);
+    EXPECT_EQ(values[0], "a?b=1");
+    EXPECT_EQ(values[1], "c d");
+    EXPECT_EQ(p.request().queryValue("empty").value_or("x"), "");
+    EXPECT_FALSE(p.request().queryValue("missing"));
+}
+
+TEST(Http, ParsesContentLengthBody)
+{
+    Parser p;
+    const std::string raw = "GET /x HTTP/1.1\r\n"
+                            "Content-Length: 5\r\n\r\nhel";
+    EXPECT_EQ(p.feed(raw.data(), raw.size()),
+              Parser::Status::Incomplete);
+    EXPECT_EQ(p.feed("lo", 2), Parser::Status::Complete);
+    EXPECT_EQ(p.request().body, "hello");
+}
+
+TEST(Http, ToleratesBareLfLineEndings)
+{
+    Parser p;
+    const std::string raw = "GET /stats HTTP/1.1\nHost: x\n\n";
+    EXPECT_EQ(p.feed(raw.data(), raw.size()),
+              Parser::Status::Complete);
+    EXPECT_EQ(p.request().header("host").value_or(""), "x");
+}
+
+TEST(Http, RejectsMalformedInput)
+{
+    {
+        Parser p;
+        const std::string raw = "NONSENSE\r\n\r\n";
+        EXPECT_EQ(p.feed(raw.data(), raw.size()),
+                  Parser::Status::Error);
+        EXPECT_FALSE(p.error().empty());
+    }
+    {
+        Parser p;
+        const std::string raw = "GET /x SPDY/3\r\n\r\n";
+        EXPECT_EQ(p.feed(raw.data(), raw.size()),
+                  Parser::Status::Error);
+    }
+    {
+        Parser p;
+        const std::string raw = "GET relative HTTP/1.1\r\n\r\n";
+        EXPECT_EQ(p.feed(raw.data(), raw.size()),
+                  Parser::Status::Error);
+    }
+}
+
+TEST(Http, ResponseRoundTrip)
+{
+    const std::string raw =
+        httpResponse(429, "application/json", "{\"error\": \"full\"}");
+    HttpResponse resp;
+    std::string error;
+    ASSERT_TRUE(parseHttpResponse(raw, &resp, &error)) << error;
+    EXPECT_EQ(resp.status, 429);
+    EXPECT_EQ(resp.reason, "Too Many Requests");
+    EXPECT_EQ(resp.body, "{\"error\": \"full\"}");
+    EXPECT_EQ(resp.headers.front().first, "content-type");
+}
+
+TEST(Http, PercentCodecRoundTrip)
+{
+    const std::string name =
+        "dnn/DLRM?task=training&batch=65536";
+    EXPECT_EQ(percentDecode(percentEncode(name)), name);
+    EXPECT_EQ(percentEncode(name),
+              "dnn/DLRM%3Ftask%3Dtraining%26batch%3D65536");
+}
+
+// ---------------------------------------------------------------------
+// SingleFlight semantics
+// ---------------------------------------------------------------------
+
+TEST(SingleFlightTest, CollapsesConcurrentCallsToOneExecution)
+{
+    SingleFlight<int> flights;
+    std::atomic<int> executions{0};
+    std::atomic<int> followers{0};
+    constexpr int kThreads = 4;
+
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kThreads; ++i) {
+        threads.emplace_back([&] {
+            auto outcome = flights.run("key", [&] {
+                executions.fetch_add(1);
+                // Park until every other thread has provably joined
+                // this flight, so the collapse count is exact.
+                while (flights.waiters("key") <
+                       static_cast<std::size_t>(kThreads - 1))
+                    std::this_thread::yield();
+                return 42;
+            });
+            EXPECT_EQ(*outcome.value, 42);
+            if (!outcome.leader)
+                followers.fetch_add(1);
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(executions.load(), 1);
+    EXPECT_EQ(followers.load(), kThreads - 1);
+}
+
+TEST(SingleFlightTest, DistinctKeysRunIndependently)
+{
+    SingleFlight<std::string> flights;
+    auto a = flights.run("a", [] { return std::string("va"); });
+    auto b = flights.run("b", [] { return std::string("vb"); });
+    EXPECT_TRUE(a.leader);
+    EXPECT_TRUE(b.leader);
+    EXPECT_EQ(*a.value, "va");
+    EXPECT_EQ(*b.value, "vb");
+}
+
+TEST(SingleFlightTest, KeyRetiresAfterCompletion)
+{
+    SingleFlight<int> flights;
+    int calls = 0;
+    flights.run("k", [&] { return ++calls; });
+    auto second = flights.run("k", [&] { return ++calls; });
+    EXPECT_EQ(calls, 2);
+    EXPECT_EQ(*second.value, 2);
+    EXPECT_TRUE(second.leader);
+}
+
+TEST(SingleFlightTest, LeaderExceptionReachesFollowers)
+{
+    SingleFlight<int> flights;
+    std::atomic<int> rethrown{0};
+    constexpr int kThreads = 3;
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kThreads; ++i) {
+        threads.emplace_back([&] {
+            try {
+                flights.run("boom", [&]() -> int {
+                    while (flights.waiters("boom") <
+                           static_cast<std::size_t>(kThreads - 1))
+                        std::this_thread::yield();
+                    throw std::runtime_error("engine failed");
+                });
+            } catch (const std::runtime_error &e) {
+                EXPECT_STREQ(e.what(), "engine failed");
+                rethrown.fetch_add(1);
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(rethrown.load(), kThreads);
+}
+
+// ---------------------------------------------------------------------
+// Server end-to-end (unix socket)
+// ---------------------------------------------------------------------
+
+std::string
+testSocketPath(const char *tag)
+{
+    return "/tmp/mgx-serve-test-" + std::to_string(::getpid()) + "-" +
+           tag + ".sock";
+}
+
+/** Poll @p pred (metrics are eventually consistent) with a deadline. */
+template <typename Pred>
+bool
+eventually(Pred pred, int timeout_ms = 10000)
+{
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    while (!pred()) {
+        if (std::chrono::steady_clock::now() > deadline)
+            return false;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return true;
+}
+
+/** A cheap deterministic record for injected cell runners. */
+CellOutcome
+syntheticOutcome(const CellKey &cell)
+{
+    CellOutcome out;
+    out.record.key = {cell.workload, cell.platform.name, cell.scheme};
+    out.record.result.totalCycles = 1000;
+    out.record.result.computeCycles = 600;
+    out.record.result.memoryCycles = 400;
+    out.record.result.seconds = 0.001;
+    out.record.result.traffic.dataBytes = 4096;
+    return out;
+}
+
+TEST(ServerTest, StatsStartFromZeroAndCount)
+{
+    ServerOptions opts;
+    opts.listen.unixPath = testSocketPath("stats");
+    Server server(opts);
+    server.start();
+    const SocketAddress addr{opts.listen.unixPath, "127.0.0.1", 0};
+
+    HttpResponse resp;
+    std::string error;
+    ASSERT_TRUE(httpGet(addr, "/stats", &resp, &error)) << error;
+    EXPECT_EQ(resp.status, 200);
+    EXPECT_NE(resp.body.find("\"schema\": \"mgx-servestats-v1\""),
+              std::string::npos);
+    EXPECT_NE(resp.body.find("\"served\": 0"), std::string::npos);
+    EXPECT_NE(resp.body.find("\"rejected\": 0"), std::string::npos);
+    EXPECT_NE(resp.body.find("\"cellsRun\": 0"), std::string::npos);
+    EXPECT_NE(resp.body.find("\"draining\": false"),
+              std::string::npos);
+
+    // The /stats request itself is the one in-flight accepted conn.
+    const auto s = server.metricsSnapshot();
+    EXPECT_EQ(s.accepted, 1u);
+    EXPECT_EQ(s.served, 1u);
+    server.shutdown();
+}
+
+TEST(ServerTest, RunMatchesExperimentApiByteForByte)
+{
+    ServerOptions opts;
+    opts.listen.unixPath = testSocketPath("parity");
+    Server server(opts);
+    server.start();
+    const SocketAddress addr{opts.listen.unixPath, "127.0.0.1", 0};
+
+    HttpResponse resp;
+    std::string error;
+    ASSERT_TRUE(httpGet(addr,
+                        "/run?workload=core%2Fmatmul&schemes=NP,BP",
+                        &resp, &error))
+        << error;
+    ASSERT_EQ(resp.status, 200) << resp.body;
+
+    // The same grid through the Experiment API the way mgx_run runs
+    // it (serial, unpipelined): the service's JSON must match byte
+    // for byte.
+    sim::ResultSet rs = sim::Experiment()
+                            .workload("core/matmul")
+                            .schemes({protection::Scheme::NP,
+                                      protection::Scheme::BP})
+                            .threads(1)
+                            .pipelined(false)
+                            .run();
+    EXPECT_EQ(resp.body, sim::toJson(rs));
+
+    const auto s = server.metricsSnapshot();
+    EXPECT_EQ(s.cellsRun, 2u);
+    EXPECT_EQ(s.dedupCollapsed, 0u);
+    server.shutdown();
+}
+
+TEST(ServerTest, RejectsUnknownNamesWithoutDying)
+{
+    ServerOptions opts;
+    opts.listen.unixPath = testSocketPath("badreq");
+    Server server(opts);
+    server.start();
+    const SocketAddress addr{opts.listen.unixPath, "127.0.0.1", 0};
+
+    HttpResponse resp;
+    std::string error;
+
+    // The registry's own diagnostic comes back instead of killing the
+    // daemon the way makeKernel()'s fatal() would.
+    ASSERT_TRUE(
+        httpGet(addr, "/run?workload=nope%2Fx", &resp, &error))
+        << error;
+    EXPECT_EQ(resp.status, 400);
+    EXPECT_NE(resp.body.find("unknown domain"), std::string::npos);
+
+    ASSERT_TRUE(httpGet(addr,
+                        "/run?workload=dnn%2FNoSuchModel",
+                        &resp, &error))
+        << error;
+    EXPECT_EQ(resp.status, 400);
+    EXPECT_NE(resp.body.find("unknown DNN model"), std::string::npos);
+
+    ASSERT_TRUE(httpGet(
+        addr, "/run?workload=core%2Fmatmul&platforms=mars", &resp,
+        &error))
+        << error;
+    EXPECT_EQ(resp.status, 400);
+    EXPECT_NE(resp.body.find("unknown platform"), std::string::npos);
+
+    ASSERT_TRUE(httpGet(addr,
+                        "/run?workload=core%2Fmatmul&schemes=XX",
+                        &resp, &error))
+        << error;
+    EXPECT_EQ(resp.status, 400);
+    EXPECT_NE(resp.body.find("unknown scheme"), std::string::npos);
+
+    ASSERT_TRUE(httpGet(addr, "/run", &resp, &error)) << error;
+    EXPECT_EQ(resp.status, 400);
+
+    ASSERT_TRUE(httpGet(addr, "/nope", &resp, &error)) << error;
+    EXPECT_EQ(resp.status, 404);
+
+    // The daemon is still alive and serving.
+    ASSERT_TRUE(httpGet(addr, "/stats", &resp, &error)) << error;
+    EXPECT_EQ(resp.status, 200);
+    // Six turned-away requests: four bad names, the missing
+    // workload=, and the 404.
+    const auto s = server.metricsSnapshot();
+    EXPECT_EQ(s.badRequests, 6u);
+    EXPECT_EQ(s.cellsRun, 0u);
+    server.shutdown();
+}
+
+TEST(ServerTest, DedupCollapsesConcurrentRequestsExactly)
+{
+    constexpr unsigned kClients = 8;
+
+    ServerOptions opts;
+    opts.listen.unixPath = testSocketPath("dedup");
+    opts.workers = kClients;
+    opts.admissionCapacity = kClients * 2;
+    Server server(opts);
+
+    // The leader parks inside the runner until every other client's
+    // request has joined the flight — so the collapse is exact, not a
+    // lucky race.
+    std::atomic<bool> release{false};
+    server.setCellRunnerForTest([&](const CellKey &cell) {
+        while (!release.load(std::memory_order_acquire))
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        return syntheticOutcome(cell);
+    });
+    server.start();
+    const SocketAddress addr{opts.listen.unixPath, "127.0.0.1", 0};
+
+    const CellKey cell{"core/matmul",
+                       sim::defaultPlatform("core/matmul"),
+                       protection::Scheme::NP};
+    const std::string key = cell.key();
+
+    std::vector<std::thread> clients;
+    std::atomic<unsigned> ok{0};
+    std::mutex bodies_mu;
+    std::vector<std::string> bodies;
+    for (unsigned i = 0; i < kClients; ++i) {
+        clients.emplace_back([&] {
+            HttpResponse resp;
+            std::string error;
+            if (httpGet(addr,
+                        "/run?workload=core%2Fmatmul&schemes=NP",
+                        &resp, &error) &&
+                resp.status == 200) {
+                ok.fetch_add(1);
+                std::lock_guard<std::mutex> lock(bodies_mu);
+                bodies.push_back(resp.body);
+            }
+        });
+    }
+
+    // All clients but the leader end up as followers of one flight.
+    ASSERT_TRUE(eventually([&] {
+        return server.cellFlights().waiters(key) == kClients - 1;
+    })) << "waiters: " << server.cellFlights().waiters(key);
+    release.store(true, std::memory_order_release);
+
+    for (auto &t : clients)
+        t.join();
+
+    EXPECT_EQ(ok.load(), kClients);
+    const auto s = server.metricsSnapshot();
+    EXPECT_EQ(s.cellsRun, 1u);
+    EXPECT_EQ(s.dedupCollapsed, kClients - 1);
+    EXPECT_EQ(s.served, kClients);
+    ASSERT_EQ(bodies.size(), kClients);
+    for (const auto &b : bodies)
+        EXPECT_EQ(b, bodies.front());
+    server.shutdown();
+}
+
+TEST(ServerTest, FullAdmissionQueueRejectsWith429)
+{
+    ServerOptions opts;
+    opts.listen.unixPath = testSocketPath("full");
+    opts.workers = 1;
+    opts.admissionCapacity = 1;
+    Server server(opts);
+
+    std::atomic<bool> release{false};
+    server.setCellRunnerForTest([&](const CellKey &cell) {
+        while (!release.load(std::memory_order_acquire))
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        return syntheticOutcome(cell);
+    });
+    server.start();
+    const SocketAddress addr{opts.listen.unixPath, "127.0.0.1", 0};
+    const std::string target =
+        "/run?workload=core%2Fmatmul&schemes=NP";
+
+    // First request occupies the only worker...
+    std::thread first([&] {
+        HttpResponse resp;
+        std::string error;
+        ASSERT_TRUE(httpGet(addr, target, &resp, &error)) << error;
+        EXPECT_EQ(resp.status, 200);
+    });
+    ASSERT_TRUE(eventually(
+        [&] { return server.metricsSnapshot().inFlight >= 1; }));
+
+    // ...the second fills the admission queue...
+    std::thread second([&] {
+        HttpResponse resp;
+        std::string error;
+        ASSERT_TRUE(httpGet(addr, target, &resp, &error)) << error;
+        EXPECT_EQ(resp.status, 200);
+    });
+    ASSERT_TRUE(eventually(
+        [&] { return server.metricsSnapshot().queueDepth >= 1; }));
+
+    // ...so the third is turned away immediately with 429.
+    HttpResponse resp;
+    std::string error;
+    ASSERT_TRUE(httpGet(addr, target, &resp, &error)) << error;
+    EXPECT_EQ(resp.status, 429);
+    EXPECT_NE(resp.body.find("queue full"), std::string::npos);
+
+    release.store(true, std::memory_order_release);
+    first.join();
+    second.join();
+
+    const auto s = server.metricsSnapshot();
+    EXPECT_EQ(s.rejected, 1u);
+    EXPECT_EQ(s.served, 2u);
+    EXPECT_EQ(s.maxQueueDepth, 1u);
+    server.shutdown();
+}
+
+TEST(ServerTest, GracefulShutdownDrainsQueuedRequests)
+{
+    ServerOptions opts;
+    opts.listen.unixPath = testSocketPath("drain");
+    opts.workers = 1;
+    opts.admissionCapacity = 4;
+    Server server(opts);
+
+    std::atomic<bool> release{false};
+    server.setCellRunnerForTest([&](const CellKey &cell) {
+        while (!release.load(std::memory_order_acquire))
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        return syntheticOutcome(cell);
+    });
+    server.start();
+    const SocketAddress addr{opts.listen.unixPath, "127.0.0.1", 0};
+    const std::string target =
+        "/run?workload=core%2Fmatmul&schemes=NP";
+
+    // One request in flight, one parked in the admission queue.
+    std::atomic<unsigned> ok{0};
+    std::thread inflight([&] {
+        HttpResponse resp;
+        std::string error;
+        if (httpGet(addr, target, &resp, &error) &&
+            resp.status == 200)
+            ok.fetch_add(1);
+    });
+    ASSERT_TRUE(eventually(
+        [&] { return server.metricsSnapshot().inFlight >= 1; }));
+    std::thread queued([&] {
+        HttpResponse resp;
+        std::string error;
+        if (httpGet(addr, target, &resp, &error) &&
+            resp.status == 200)
+            ok.fetch_add(1);
+    });
+    ASSERT_TRUE(eventually(
+        [&] { return server.metricsSnapshot().queueDepth >= 1; }));
+
+    server.requestShutdown();
+    EXPECT_TRUE(server.stopping());
+    release.store(true, std::memory_order_release);
+    server.shutdown(); // must drain both, then join
+
+    inflight.join();
+    queued.join();
+    EXPECT_EQ(ok.load(), 2u) << "draining dropped a request";
+
+    // The socket is gone: new connections fail instead of hanging.
+    HttpResponse resp;
+    std::string error;
+    EXPECT_FALSE(httpGet(addr, "/stats", &resp, &error));
+}
+
+TEST(ServerTest, ShutdownEndpointStopsTheServer)
+{
+    ServerOptions opts;
+    opts.listen.unixPath = testSocketPath("shutdown");
+    Server server(opts);
+    server.start();
+    const SocketAddress addr{opts.listen.unixPath, "127.0.0.1", 0};
+
+    HttpResponse resp;
+    std::string error;
+    ASSERT_TRUE(httpGet(addr, "/shutdown", &resp, &error)) << error;
+    EXPECT_EQ(resp.status, 200);
+    EXPECT_NE(resp.body.find("\"shutdown\": true"),
+              std::string::npos);
+    EXPECT_TRUE(server.stopping());
+    server.shutdown();
+    EXPECT_TRUE(server.metricsSnapshot().draining);
+}
+
+TEST(ServerTest, TcpLoopbackEphemeralPortWorks)
+{
+    ServerOptions opts; // no unix path: TCP, port 0
+    Server server(opts);
+    server.start();
+    ASSERT_NE(server.port(), 0);
+
+    SocketAddress addr;
+    addr.port = server.port();
+    HttpResponse resp;
+    std::string error;
+    ASSERT_TRUE(httpGet(addr, "/stats", &resp, &error)) << error;
+    EXPECT_EQ(resp.status, 200);
+    server.shutdown();
+}
+
+} // namespace
+} // namespace mgx::serve

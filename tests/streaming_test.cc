@@ -351,9 +351,12 @@ TEST(TraceCacheEviction, HitsTouchTheFileSoLruKeepsHotTraces)
     // Age both files, then hit only the hot one: the hit must refresh
     // its mtime so eviction prefers the cold file despite the cold
     // file being written later.
+    // Count only the traces: the per-key .lock files stay behind on
+    // purpose (unlinking them would race other lockers).
     std::vector<fs::path> files;
     for (const auto &e : fs::directory_iterator(dir))
-        files.push_back(e.path());
+        if (e.path().extension() == ".trace")
+            files.push_back(e.path());
     ASSERT_EQ(files.size(), 2u);
     for (const auto &f : files)
         fs::last_write_time(f, fs::file_time_type::clock::now() -
@@ -371,9 +374,10 @@ TEST(TraceCacheEviction, HitsTouchTheFileSoLruKeepsHotTraces)
     for (const auto &e : fs::directory_iterator(dir))
         hot_bytes = std::max<u64>(hot_bytes, fs::file_size(e));
     EXPECT_EQ(enforceTraceCacheLimit(dir.string(), hot_bytes), 1u);
-    ASSERT_EQ(std::distance(fs::directory_iterator(dir),
-                            fs::directory_iterator{}),
-              1);
+    std::size_t traces = 0;
+    for (const auto &e : fs::directory_iterator(dir))
+        traces += e.path().extension() == ".trace";
+    ASSERT_EQ(traces, 1u);
     // The survivor still replays the hot workload from cache.
     ResultSet again = Experiment()
                           .workload(hot)
@@ -397,9 +401,10 @@ TEST(TraceCacheEviction, ExperimentAppliesTheCapAfterTheRun)
                        .traceCacheMaxBytes(1) // evicts everything
                        .run();
     EXPECT_EQ(rs.traceCacheMisses(), 2u);
-    EXPECT_EQ(std::distance(fs::directory_iterator(dir),
-                            fs::directory_iterator{}),
-              0);
+    std::size_t traces = 0;
+    for (const auto &e : fs::directory_iterator(dir))
+        traces += e.path().extension() == ".trace";
+    EXPECT_EQ(traces, 0u);
     fs::remove_all(dir);
 }
 
