@@ -35,6 +35,11 @@ usage(std::FILE *out)
         "  --shutdown             ask the daemon to drain and exit\n"
         "options:\n"
         "  --timeout-ms N         per-request timeout (default 120000)\n"
+        "  --retries N            retry transient failures (connect\n"
+        "                         refused, IO error, 429/503) up to N\n"
+        "                         times (default 0)\n"
+        "  --backoff-ms B         base retry delay; doubles per retry\n"
+        "                         with jitter (default 100)\n"
         "  --help                 this message\n");
     return out == stdout ? 0 : 2;
 }
@@ -50,6 +55,7 @@ main(int argc, char **argv)
     std::string workloads, platforms, schemes;
     bool stats = false, shutdown = false;
     int timeout_ms = 120000;
+    serve::RetryOptions retry;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -83,6 +89,12 @@ main(int argc, char **argv)
             shutdown = true;
         } else if (arg == "--timeout-ms") {
             timeout_ms =
+                static_cast<int>(std::strtol(value(), nullptr, 10));
+        } else if (arg == "--retries") {
+            retry.retries =
+                static_cast<int>(std::strtol(value(), nullptr, 10));
+        } else if (arg == "--backoff-ms") {
+            retry.backoffMs =
                 static_cast<int>(std::strtol(value(), nullptr, 10));
         } else {
             std::fprintf(stderr, "mgx_client: unknown option '%s'\n",
@@ -143,14 +155,28 @@ main(int argc, char **argv)
 
     serve::HttpResponse resp;
     std::string error;
-    if (!serve::httpGet(addr, target, &resp, &error, timeout_ms)) {
-        std::fprintf(stderr, "mgx_client: %s\n", error.c_str());
+    int attempts = 0;
+    if (!serve::httpGetRetry(addr, target, &resp, &error, timeout_ms,
+                             retry, &attempts)) {
+        if (attempts > 1)
+            std::fprintf(stderr,
+                         "mgx_client: giving up after %d attempts: "
+                         "%s\n",
+                         attempts, error.c_str());
+        else
+            std::fprintf(stderr, "mgx_client: %s\n", error.c_str());
         return 1;
     }
     std::fputs(resp.body.c_str(), stdout);
     if (resp.status < 200 || resp.status >= 300) {
-        std::fprintf(stderr, "mgx_client: HTTP %d %s\n", resp.status,
-                     resp.reason.c_str());
+        if ((resp.status == 429 || resp.status == 503) && attempts > 1)
+            std::fprintf(stderr,
+                         "mgx_client: HTTP %d %s (still after %d "
+                         "attempts)\n",
+                         resp.status, resp.reason.c_str(), attempts);
+        else
+            std::fprintf(stderr, "mgx_client: HTTP %d %s\n",
+                         resp.status, resp.reason.c_str());
         return 1;
     }
     return 0;

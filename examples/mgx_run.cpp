@@ -243,11 +243,28 @@ main(int argc, char **argv)
 
     sim::ResultSet rs = experiment.run();
 
-    if (!trace_cache_dir.empty())
-        std::printf("trace-cache: %llu hit(s), %llu miss(es)\n",
+    if (!trace_cache_dir.empty()) {
+        // The "N hit(s), M miss(es)" prefix is a stable interface
+        // (smoke scripts grep it); health detail is only appended
+        // when something actually happened.
+        std::printf("trace-cache: %llu hit(s), %llu miss(es)",
                     static_cast<unsigned long long>(rs.traceCacheHits()),
                     static_cast<unsigned long long>(
                         rs.traceCacheMisses()));
+        if (rs.traceCacheQuarantined() != 0)
+            std::printf(", %llu quarantined",
+                        static_cast<unsigned long long>(
+                            rs.traceCacheQuarantined()));
+        if (rs.traceCacheSwept() != 0)
+            std::printf(", %llu swept",
+                        static_cast<unsigned long long>(
+                            rs.traceCacheSwept()));
+        if (rs.cacheDegraded())
+            std::printf(", degraded (%llu fault(s))",
+                        static_cast<unsigned long long>(
+                            rs.traceCacheFaults()));
+        std::printf("\n");
+    }
 
     if (!quiet)
         sim::printTable(rs);

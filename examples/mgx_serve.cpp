@@ -46,6 +46,8 @@ usage(std::FILE *out)
         "                         other daemons and mgx_run\n"
         "  --trace-cache-max-bytes N\n"
         "                         LRU size cap for the trace cache\n"
+        "  --deadline-ms N        wall-clock budget per /run request;\n"
+        "                         503 on expiry (default 0 = none)\n"
         "  --quiet                no startup/shutdown chatter\n"
         "  --help                 this message\n");
     return out == stdout ? 0 : 2;
@@ -88,6 +90,9 @@ main(int argc, char **argv)
         } else if (arg == "--trace-cache-max-bytes") {
             opts.traceCacheMaxBytes =
                 std::strtoull(value(), nullptr, 10);
+        } else if (arg == "--deadline-ms") {
+            opts.requestDeadlineMs =
+                static_cast<int>(std::strtol(value(), nullptr, 10));
         } else if (arg == "--quiet" || arg == "-q") {
             quiet = true;
         } else {

@@ -70,10 +70,8 @@ class InspectSink final : public core::PhaseSink
     u64 dataBytes_ = 0;
 };
 
-} // namespace
-
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     if (argc > 1 && (std::strcmp(argv[1], "--help") == 0 ||
                      std::strcmp(argv[1], "-h") == 0))
@@ -173,4 +171,19 @@ main(int argc, char **argv)
     std::fprintf(stderr, "trace_replay: unknown command '%s'\n",
                  argv[1]);
     return usage(stderr);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Trace I/O failures throw (see sim/trace_io.h); for a one-shot
+    // CLI the right recovery is a clean message and a non-zero exit.
+    try {
+        return run(argc, argv);
+    } catch (const sim::TraceIoError &e) {
+        std::fprintf(stderr, "trace_replay: %s\n", e.what());
+        return 1;
+    }
 }

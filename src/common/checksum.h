@@ -1,0 +1,41 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum
+ * guarding `*.trace` cache files against truncation and bit rot.
+ *
+ * zlib-style incremental API: start from 0 and feed chunks in order;
+ * `crc32Update(crc32Update(0, a, na), b, nb)` equals the CRC of the
+ * concatenation. The classic check vector: crc32Update(0,
+ * "123456789", 9) == 0xCBF43926.
+ */
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace mgx {
+
+inline u32
+crc32Update(u32 crc, const void *data, std::size_t len)
+{
+    static const auto table = [] {
+        struct Table {
+            u32 entry[256];
+        } t;
+        for (u32 i = 0; i < 256; ++i) {
+            u32 c = i;
+            for (int bit = 0; bit < 8; ++bit)
+                c = (c >> 1) ^ (0xEDB88320u & (0u - (c & 1u)));
+            t.entry[i] = c;
+        }
+        return t;
+    }();
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    crc ^= 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < len; ++i)
+        crc = (crc >> 8) ^ table.entry[(crc ^ p[i]) & 0xFFu];
+    return crc ^ 0xFFFFFFFFu;
+}
+
+} // namespace mgx

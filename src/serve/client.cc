@@ -1,7 +1,10 @@
 #include "client.h"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -130,6 +133,51 @@ httpGet(const SocketAddress &addr, const std::string &target,
         return false;
     }
     return parseHttpResponse(raw, out, error);
+}
+
+bool
+httpGetRetry(const SocketAddress &addr, const std::string &target,
+             HttpResponse *out, std::string *error, int timeout_ms,
+             const RetryOptions &opts, int *attempts_out)
+{
+    // Full-jitter backoff off a tiny LCG: good enough to decorrelate
+    // a stampede of clients, deterministic under a caller-given seed.
+    u64 rng = opts.seed;
+    if (rng == 0)
+        rng = static_cast<u64>(::getpid()) * 2654435761u +
+              static_cast<u64>(
+                  std::chrono::steady_clock::now()
+                      .time_since_epoch()
+                      .count());
+    const auto next = [&rng] {
+        rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+        return rng >> 33;
+    };
+
+    const int attempts = 1 + std::max(0, opts.retries);
+    bool ok = false;
+    for (int attempt = 0; attempt < attempts; ++attempt) {
+        if (attempt > 0) {
+            u64 base = static_cast<u64>(std::max(1, opts.backoffMs))
+                       << (attempt - 1);
+            base = std::min<u64>(
+                base, static_cast<u64>(std::max(1, opts.maxBackoffMs)));
+            const u64 delay = base / 2 + next() % (base - base / 2 + 1);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(delay));
+        }
+        ok = httpGet(addr, target, out, error, timeout_ms);
+        if (attempts_out)
+            *attempts_out = attempt + 1;
+        if (!ok)
+            continue; // transport failure: retry
+        if (out->status == 429 || out->status == 503)
+            continue; // explicit back-pressure: retry
+        return true;  // definite answer (2xx, 4xx, 5xx other)
+    }
+    // Exhausted. A parsed 429/503 still counts as "the server
+    // answered" — hand it back so the caller can report the status.
+    return ok;
 }
 
 } // namespace mgx::serve

@@ -26,6 +26,34 @@ bool httpGet(const SocketAddress &addr, const std::string &target,
              HttpResponse *out, std::string *error,
              int timeout_ms = 30000);
 
+/** Retry policy for httpGetRetry. */
+struct RetryOptions
+{
+    int retries = 0;      ///< attempts beyond the first
+    int backoffMs = 100;  ///< base delay; doubles per retry
+    int maxBackoffMs = 5000; ///< ceiling for one delay
+    u64 seed = 0;         ///< jitter seed; 0 = derive from pid+clock
+};
+
+/**
+ * httpGet with retries: transient failures — connect refused, IO
+ * errors, and 429/503 answers (the server saying "try again") — are
+ * retried up to opts.retries times with exponential backoff and full
+ * jitter (each delay is uniform in [base/2, base], base doubling per
+ * attempt and capped at maxBackoffMs). Definite answers (2xx, 4xx
+ * other than 429) return immediately. Returns false with @p error
+ * describing the *last* failure once attempts are exhausted;
+ * @p attempts_out (optional) reports how many attempts were made.
+ *
+ * A retried 429/503 that never improves is returned as a success
+ * with that status — the caller distinguishes "the server answered
+ * no" from "the server never answered".
+ */
+bool httpGetRetry(const SocketAddress &addr, const std::string &target,
+                  HttpResponse *out, std::string *error,
+                  int timeout_ms, const RetryOptions &opts,
+                  int *attempts_out = nullptr);
+
 } // namespace mgx::serve
 
 #endif // MGX_SERVE_CLIENT_H

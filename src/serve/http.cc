@@ -109,8 +109,10 @@ HttpRequestParser::feed(const char *data, std::size_t n)
     if (status_ != Status::Incomplete)
         return status_;
     buffer_.append(data, n);
-    if (buffer_.size() > kMaxRequestBytes)
+    if (buffer_.size() > kMaxRequestBytes) {
+        tooLarge_ = true;
         return fail("request exceeds 1 MiB");
+    }
     return parseBuffered();
 }
 
@@ -181,8 +183,10 @@ HttpRequestParser::parseBuffered()
         if (end == h.second.c_str() || *end != '\0')
             return fail("malformed Content-Length");
     }
-    if (content_length > kMaxRequestBytes)
+    if (content_length > kMaxRequestBytes) {
+        tooLarge_ = true;
         return fail("request exceeds 1 MiB");
+    }
     if (buffer_.size() - body_start < content_length)
         return status_; // body still in flight
     req.body = buffer_.substr(body_start, content_length);
@@ -274,6 +278,7 @@ httpReason(int status)
       case 404: return "Not Found";
       case 405: return "Method Not Allowed";
       case 429: return "Too Many Requests";
+      case 431: return "Request Header Fields Too Large";
       case 500: return "Internal Server Error";
       case 503: return "Service Unavailable";
       default: return "Unknown";

@@ -61,6 +61,11 @@ class HttpRequestParser
     const HttpRequest &request() const { return request_; }
     const std::string &error() const { return error_; }
 
+    /** True when the Error is specifically the 1 MiB request cap —
+     *  the connection should answer 431 instead of 400 so a confused
+     *  peer can tell "you sent too much" from "you sent garbage". */
+    bool tooLarge() const { return tooLarge_; }
+
   private:
     Status parseBuffered();
     Status fail(const std::string &message);
@@ -69,6 +74,7 @@ class HttpRequestParser
     HttpRequest request_;
     std::string error_;
     Status status_ = Status::Incomplete;
+    bool tooLarge_ = false;
 };
 
 /** A parsed response (client side). */

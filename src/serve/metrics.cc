@@ -21,6 +21,10 @@ ServeMetrics::snapshot() const
     s.inFlight = inFlight.load(std::memory_order_relaxed);
     s.queueDepth = queueDepth.load(std::memory_order_relaxed);
     s.maxQueueDepth = maxQueueDepth.load(std::memory_order_relaxed);
+    s.deadlineExceeded =
+        deadlineExceeded.load(std::memory_order_relaxed);
+    s.oversized = oversized.load(std::memory_order_relaxed);
+    s.cacheDegraded = cacheDegraded.load(std::memory_order_relaxed);
     s.draining = draining.load(std::memory_order_relaxed);
     return s;
 }
@@ -42,6 +46,10 @@ statsJson(const ServeMetrics::Snapshot &s)
         << ",\n  \"inFlight\": " << s.inFlight
         << ",\n  \"queueDepth\": " << s.queueDepth
         << ",\n  \"maxQueueDepth\": " << s.maxQueueDepth
+        << ",\n  \"deadlineExceeded\": " << s.deadlineExceeded
+        << ",\n  \"oversized\": " << s.oversized
+        << ",\n  \"cacheDegraded\": "
+        << (s.cacheDegraded ? "true" : "false")
         << ",\n  \"draining\": " << (s.draining ? "true" : "false")
         << "\n}\n";
     return out.str();

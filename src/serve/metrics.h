@@ -34,6 +34,9 @@ class ServeMetrics
         u64 inFlight = 0;       ///< requests being handled right now
         u64 queueDepth = 0;     ///< connections waiting for a worker
         u64 maxQueueDepth = 0;  ///< high-water mark of queueDepth
+        u64 deadlineExceeded = 0; ///< 503s: request deadline expired
+        u64 oversized = 0;      ///< 431s: request exceeded the 1 MiB cap
+        bool cacheDegraded = false; ///< trace cache bypassed (see Server)
         bool draining = false;  ///< shutdown requested
     };
 
@@ -49,6 +52,9 @@ class ServeMetrics
     std::atomic<u64> inFlight{0};
     std::atomic<u64> queueDepth{0};
     std::atomic<u64> maxQueueDepth{0};
+    std::atomic<u64> deadlineExceeded{0};
+    std::atomic<u64> oversized{0};
+    std::atomic<bool> cacheDegraded{false};
     std::atomic<bool> draining{false};
 
     /** Raise maxQueueDepth to at least @p depth. */

@@ -11,12 +11,23 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "common/failpoint.h"
 #include "common/log.h"
 #include "sim/report.h"
 #include "sim/workload_registry.h"
 
 namespace mgx::serve {
 namespace {
+
+// The service's socket boundaries are failpoints too, registered at
+// load so failpoint::all() sees the complete set (see
+// common/failpoint.h for the arming grammar).
+failpoint::Point &fpAcceptFail =
+    failpoint::Point::get("serve.accept.fail");
+failpoint::Point &fpRecvFail =
+    failpoint::Point::get("serve.recv.fail");
+failpoint::Point &fpSendFail =
+    failpoint::Point::get("serve.send.fail");
 
 /** The same platform vocabulary mgx_run accepts. */
 bool
@@ -206,6 +217,10 @@ Server::shutdown()
         if (w.joinable())
             w.join();
     workers_.clear();
+    // Cells whose requests hit the deadline keep running detached;
+    // wait for them so no engine run is torn down mid-simulation.
+    // Unbounded by design — see SingleFlight::drainBackground().
+    flights_.drainBackground();
     if (listenFd_ >= 0) {
         ::close(listenFd_);
         listenFd_ = -1;
@@ -251,6 +266,12 @@ Server::acceptLoop()
             ::accept4(listenFd_, nullptr, nullptr, SOCK_CLOEXEC);
         if (fd < 0)
             continue;
+        if (fpAcceptFail.fire()) {
+            // Simulated transient accept failure (ECONNABORTED-like):
+            // the connection is lost but the loop must keep serving.
+            ::close(fd);
+            continue;
+        }
         metrics_.accepted.fetch_add(1, std::memory_order_relaxed);
         setSocketTimeout(fd, opts_.ioTimeoutMs);
 
@@ -313,7 +334,11 @@ Server::handleConnection(int fd)
     HttpRequestParser parser;
     char buf[4096];
     while (parser.status() == HttpRequestParser::Status::Incomplete) {
+        if (fpRecvFail.fire())
+            break; // simulated mid-request connection loss
         const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+        if (n < 0 && errno == EINTR)
+            continue;
         if (n <= 0)
             break; // peer closed, timed out, or errored
         parser.feed(buf, static_cast<std::size_t>(n));
@@ -322,8 +347,13 @@ Server::handleConnection(int fd)
     std::string response;
     if (parser.status() != HttpRequestParser::Status::Complete) {
         metrics_.badRequests.fetch_add(1, std::memory_order_relaxed);
+        if (parser.tooLarge())
+            metrics_.oversized.fetch_add(1, std::memory_order_relaxed);
+        // An oversized request gets a clean 431 instead of a generic
+        // 400: the peer is told exactly why it was refused, and the
+        // daemon sheds the connection without reading the rest.
         response = httpResponse(
-            400, "application/json",
+            parser.tooLarge() ? 431 : 400, "application/json",
             jsonError(parser.error().empty() ? "incomplete request"
                                              : parser.error()));
     } else {
@@ -360,6 +390,18 @@ Server::handleRequest(const HttpRequest &req, int *status_out)
     if (req.path == "/stats") {
         *status_out = 200;
         return statsJson(metrics_.snapshot());
+    }
+    if (req.path == "/healthz") {
+        // Liveness, not readiness: 200 whenever the daemon can answer
+        // at all. Degraded states are reported, not treated as death.
+        *status_out = 200;
+        std::string body = "{\"ok\": true";
+        body += std::string(", \"draining\": ") +
+                (stopping() ? "true" : "false");
+        body += std::string(", \"cacheDegraded\": ") +
+                (cacheDegraded() ? "true" : "false");
+        body += "}\n";
+        return body;
     }
     if (req.path == "/shutdown") {
         *status_out = 200;
@@ -448,6 +490,13 @@ Server::handleRun(const HttpRequest &req, int *status_out)
     if (schemes.empty())
         schemes = sim::allSchemes();
 
+    // One wall-clock budget for the whole request, not per cell: the
+    // client asked one question, so the question has one deadline.
+    const bool deadlined = opts_.requestDeadlineMs > 0;
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(opts_.requestDeadlineMs);
+
     // mgx_run's grid order (workloads x platforms x schemes, default
     // platform per workload when the axis is unset) so the assembled
     // ResultSet — and its JSON — matches the CLI byte for byte.
@@ -460,12 +509,42 @@ Server::handleRun(const HttpRequest &req, int *status_out)
         for (const auto &platform : cell_platforms) {
             for (protection::Scheme scheme : schemes) {
                 CellKey cell{w, platform, scheme};
-                auto outcome =
-                    flights_.run(cell.key(), [&]() -> CellOutcome {
-                        metrics_.cellsRun.fetch_add(
+                // The cell (not &: runFor's leader lambda outlives
+                // this frame when the deadline expires first).
+                const auto body = [this,
+                                   cell]() -> CellOutcome {
+                    metrics_.cellsRun.fetch_add(
+                        1, std::memory_order_relaxed);
+                    return runner_(cell);
+                };
+                SingleFlight<CellOutcome>::Outcome outcome;
+                if (deadlined) {
+                    const auto left =
+                        std::chrono::duration_cast<
+                            std::chrono::milliseconds>(
+                            deadline -
+                            std::chrono::steady_clock::now());
+                    outcome = flights_.runFor(
+                        cell.key(), body,
+                        std::max(left,
+                                 std::chrono::milliseconds(0)));
+                    if (!outcome.value) {
+                        // Deadline hit. The cell finishes on its
+                        // background thread; a retry joins it
+                        // instead of paying for a second run.
+                        metrics_.deadlineExceeded.fetch_add(
                             1, std::memory_order_relaxed);
-                        return runner_(cell);
-                    });
+                        *status_out = 503;
+                        return jsonError(
+                            "deadline exceeded after " +
+                            std::to_string(
+                                opts_.requestDeadlineMs) +
+                            " ms (cell " + cell.key() +
+                            " still running; retry to join it)");
+                    }
+                } else {
+                    outcome = flights_.run(cell.key(), body);
+                }
                 if (!outcome.leader)
                     metrics_.dedupCollapsed.fetch_add(
                         1, std::memory_order_relaxed);
@@ -485,8 +564,53 @@ Server::handleRun(const HttpRequest &req, int *status_out)
     return sim::toJson(rs);
 }
 
+bool
+Server::cacheUsableNow()
+{
+    if (opts_.traceCacheDir.empty())
+        return false;
+    if (!cacheDegraded_.load(std::memory_order_relaxed))
+        return true;
+    // Degraded: bypass the cache until the re-probe window opens,
+    // then let exactly this cell probe it (the window is pushed
+    // forward so concurrent cells keep bypassing meanwhile).
+    std::lock_guard<std::mutex> lock(cachemu_);
+    const auto now = std::chrono::steady_clock::now();
+    if (now < cacheRetryAt_)
+        return false;
+    cacheRetryAt_ =
+        now + std::chrono::milliseconds(opts_.cacheRetryMs);
+    return true;
+}
+
+void
+Server::noteCacheHealth(bool degraded)
+{
+    if (degraded) {
+        {
+            std::lock_guard<std::mutex> lock(cachemu_);
+            cacheRetryAt_ =
+                std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(opts_.cacheRetryMs);
+        }
+        if (!cacheDegraded_.exchange(true,
+                                     std::memory_order_relaxed))
+            MGX_WARN(
+                "mgx_serve: trace cache degraded ('%s'); serving "
+                "uncached, re-probing every %d ms",
+                opts_.traceCacheDir.c_str(), opts_.cacheRetryMs);
+    } else if (cacheDegraded_.exchange(false,
+                                       std::memory_order_relaxed)) {
+        MGX_WARN("mgx_serve: trace cache recovered ('%s')",
+                 opts_.traceCacheDir.c_str());
+    }
+    metrics_.cacheDegraded.store(
+        cacheDegraded_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+}
+
 CellOutcome
-Server::runCellWithEngine(const CellKey &cell) const
+Server::runCellWithEngine(const CellKey &cell)
 {
     // One cell, serial and unpipelined: cheap next to the simulation
     // itself, and it keeps every model output bitwise-identical to
@@ -499,7 +623,8 @@ Server::runCellWithEngine(const CellKey &cell) const
         .schemes({cell.scheme})
         .threads(1)
         .pipelined(false);
-    if (!opts_.traceCacheDir.empty()) {
+    const bool with_cache = cacheUsableNow();
+    if (with_cache) {
         experiment.traceCacheDir(opts_.traceCacheDir);
         if (opts_.traceCacheMaxBytes != 0)
             experiment.traceCacheMaxBytes(opts_.traceCacheMaxBytes);
@@ -508,6 +633,10 @@ Server::runCellWithEngine(const CellKey &cell) const
     if (rs.records().size() != 1)
         fatal("mgx_serve: single-cell experiment produced %zu records",
               rs.records().size());
+    // Only a run that actually touched the cache votes on its
+    // health; bypassing cells would otherwise "recover" it blindly.
+    if (with_cache)
+        noteCacheHealth(rs.cacheDegraded());
     return CellOutcome{rs.records()[0], rs.traceCacheHits(),
                        rs.traceCacheMisses()};
 }
@@ -515,6 +644,8 @@ Server::runCellWithEngine(const CellKey &cell) const
 void
 Server::sendAll(int fd, const std::string &data) const
 {
+    if (fpSendFail.fire())
+        return; // simulated peer death before the response went out
     std::size_t sent = 0;
     while (sent < data.size()) {
         const ssize_t n = ::send(fd, data.data() + sent,

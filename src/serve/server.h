@@ -15,6 +15,10 @@
  *       workloads / platforms / schemes (the registry's own message).
  *   GET /stats
  *       Operational counters as `mgx-servestats-v1` JSON.
+ *   GET /healthz
+ *       Liveness: 200 with {"ok": true, ...} whenever the daemon can
+ *       answer at all — draining and cache-degraded states are
+ *       reported in the body, not as failures.
  *   GET /shutdown
  *       Acknowledge, then begin graceful shutdown.
  *
@@ -41,6 +45,8 @@
 #ifndef MGX_SERVE_SERVER_H
 #define MGX_SERVE_SERVER_H
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -74,6 +80,14 @@ struct ServerOptions
     std::string traceCacheDir;        ///< "" = no trace cache
     u64 traceCacheMaxBytes = 0;       ///< LRU cap (needs traceCacheDir)
     int ioTimeoutMs = 30000;          ///< per-connection read/write timeout
+    /// Wall-clock budget for one /run request, 0 = none. On expiry
+    /// the request answers 503 immediately; the cell that was running
+    /// finishes on a background thread (engine runs cannot be
+    /// cancelled) so a retry joins it instead of duplicating work.
+    int requestDeadlineMs = 0;
+    /// How long to bypass the trace cache after a run reports it
+    /// degraded before probing it again (see cacheDegraded()).
+    int cacheRetryMs = 5000;
 };
 
 /** One grid cell: the unit of deduplication. */
@@ -129,6 +143,12 @@ class Server
 
     bool stopping() const;
 
+    /** True while the trace cache is being bypassed after a fault. */
+    bool cacheDegraded() const
+    {
+        return cacheDegraded_.load(std::memory_order_relaxed);
+    }
+
     ServeMetrics::Snapshot metricsSnapshot() const;
 
     /** Replace the engine-backed cell runner (tests only). */
@@ -143,9 +163,16 @@ class Server
     void handleConnection(int fd);
     std::string handleRequest(const HttpRequest &req, int *status_out);
     std::string handleRun(const HttpRequest &req, int *status_out);
-    CellOutcome runCellWithEngine(const CellKey &cell) const;
+    CellOutcome runCellWithEngine(const CellKey &cell);
     bool validateWorkload(const std::string &name, std::string *error);
     void sendAll(int fd, const std::string &data) const;
+    /// Fold one run's cache health into the degraded state: a
+    /// degraded run opens (or extends) the bypass window with one
+    /// warning log; a healthy run while degraded logs recovery.
+    void noteCacheHealth(bool degraded);
+    /// Whether runCellWithEngine should pass the cache dir right now
+    /// (false while degraded and the re-probe window has not opened).
+    bool cacheUsableNow();
 
     ServerOptions opts_;
     ServeMetrics metrics_;
@@ -169,6 +196,12 @@ class Server
     /// workload name -> registry error ("" = known-good); memoized so
     /// repeated requests skip kernel construction during validation.
     std::map<std::string, std::string> validation_;
+
+    std::atomic<bool> cacheDegraded_{false};
+    std::mutex cachemu_;
+    /// When degraded: the next moment a cell may probe the cache
+    /// again (guarded by cachemu_).
+    std::chrono::steady_clock::time_point cacheRetryAt_{};
 };
 
 } // namespace mgx::serve

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <map>
@@ -22,8 +23,16 @@ namespace {
  * it whenever kernels generate different traces for the same
  * workload name or the trace_io format changes — equal keys only
  * guarantee equal traces within one generator version.
+ *
+ * v2: trace files carry the integrity envelope (magic header +
+ * CRC32 footer); v1 files are unverifiable and simply never match.
  */
-constexpr unsigned kTraceCacheVersion = 1;
+constexpr unsigned kTraceCacheVersion = 2;
+
+/** Age below which sweepTraceCacheDebris leaves debris alone — far
+ *  above any real trace write, so a live writer's temporary always
+ *  survives the sweep. */
+constexpr std::chrono::seconds kSweepGrace = std::chrono::minutes(15);
 
 /**
  * File name a cached trace is stored under: the cache key with
@@ -89,6 +98,59 @@ parallelFor(std::size_t n, u32 threads, const Body &body)
     for (auto &t : pool)
         t.join();
 }
+
+/**
+ * TraceFileWriteSink that never lets a cache-write failure disturb
+ * the replay consuming the same phase stream: any TraceIoError from
+ * the inner sink flips it into a black hole (the abandoned temporary
+ * is cleaned up immediately), and finish() reports whether the file
+ * was actually published. Results stay exact under ENOSPC; only
+ * cache reuse is lost.
+ */
+class GuardedCacheSink final : public core::PhaseSink
+{
+  public:
+    explicit GuardedCacheSink(const std::string &path)
+    {
+        try {
+            inner_ = std::make_unique<TraceFileWriteSink>(path);
+        } catch (const TraceIoError &) {
+            failed_ = true;
+        }
+    }
+
+    void
+    consume(const core::Phase &phase) override
+    {
+        if (failed_)
+            return;
+        try {
+            inner_->consume(phase);
+        } catch (const TraceIoError &) {
+            failed_ = true;
+            inner_.reset();
+        }
+    }
+
+    /** True when the cache file was published. */
+    bool
+    finish()
+    {
+        if (failed_)
+            return false;
+        try {
+            inner_->finish();
+            return true;
+        } catch (const TraceIoError &) {
+            failed_ = true;
+            return false;
+        }
+    }
+
+  private:
+    std::unique_ptr<TraceFileWriteSink> inner_;
+    bool failed_ = false;
+};
 
 } // namespace
 
@@ -325,6 +387,37 @@ enforceTraceCacheLimit(const std::string &dir, u64 max_bytes)
     return evicted;
 }
 
+u64
+sweepTraceCacheDebris(const std::string &dir,
+                      std::chrono::seconds grace)
+{
+    namespace fs = std::filesystem;
+    u64 removed = 0;
+    std::error_code ec;
+    const auto now = fs::file_time_type::clock::now();
+    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+        if (ec)
+            break;
+        if (!entry.is_regular_file(ec) || ec)
+            continue;
+        const std::string name = entry.path().filename().string();
+        const bool tmp = name.find(".trace.tmp.") != std::string::npos;
+        const bool bad =
+            name.size() > 10 &&
+            name.compare(name.size() - 10, 10, ".trace.bad") == 0;
+        if (!tmp && !bad)
+            continue;
+        std::error_code fec;
+        const auto mtime = fs::last_write_time(entry.path(), fec);
+        if (fec || now - mtime < grace)
+            continue; // young debris may still have a live writer
+        std::error_code rec;
+        if (fs::remove(entry.path(), rec) && !rec)
+            ++removed;
+    }
+    return removed;
+}
+
 ResultSet
 Experiment::run() const
 {
@@ -432,27 +525,45 @@ Experiment::run() const
     // and nothing is materialized; without a cache directory the
     // streaming path needs no phase 1 at all — every cell streams its
     // own fresh kernel.
-    if (!traceCacheDir_.empty()) {
+    // The cache directory is treated as unreliable: if it cannot be
+    // created (or later misbehaves), the run degrades to streaming
+    // kernels directly — results are exact either way, only reuse is
+    // lost — and the fault is reported through the ResultSet's
+    // cache-health stats instead of killing the process (the serving
+    // daemon must outlive a broken disk; the CLI prints a warning).
+    std::string cacheDir = traceCacheDir_;
+    u64 cache_swept = 0;
+    std::atomic<u64> cache_faults{0};
+    if (!cacheDir.empty()) {
         std::error_code ec;
-        std::filesystem::create_directories(traceCacheDir_, ec);
-        if (ec)
-            fatal("cannot create trace-cache dir '%s': %s",
-                  traceCacheDir_.c_str(), ec.message().c_str());
+        std::filesystem::create_directories(cacheDir, ec);
+        if (ec) {
+            MGX_WARN("cannot create trace-cache dir '%s' (%s); "
+                     "running uncached",
+                     cacheDir.c_str(), ec.message().c_str());
+            cache_faults.fetch_add(1, std::memory_order_relaxed);
+            cacheDir.clear();
+        } else {
+            // Startup sweep: crashed writers leak `*.trace.tmp.*`
+            // forever, quarantined files pile up; both go once aged.
+            cache_swept = sweepTraceCacheDebris(cacheDir, kSweepGrace);
+        }
     }
-    const auto cacheFilePath = [this](const TraceJob &job) {
-        return (std::filesystem::path(traceCacheDir_) /
+    const auto cacheFilePath = [&cacheDir](const TraceJob &job) {
+        return (std::filesystem::path(cacheDir) /
                 traceCacheFileName(job.cacheKey))
             .string();
     };
     std::vector<core::Trace> traces(jobs.size());
     std::atomic<u64> cache_hits{0};
     std::atomic<u64> cache_misses{0};
+    std::atomic<u64> cache_quarantined{0};
     parallelFor(jobs.size(), budget, [&](std::size_t i) {
         if (jobs[i].explicitTrace != nullptr)
             return;
         if (jobs[i].deferred)
             return; // phase 2 fills the cache through the tee
-        if (traceCacheDir_.empty()) {
+        if (cacheDir.empty()) {
             if (!streaming_)
                 traces[i] = makeKernel(jobs[i].name, jobs[i].platform)
                                 ->generate();
@@ -463,12 +574,22 @@ Experiment::run() const
         // re-check. The cache is shared across processes, so a foreign
         // evictor may delete the file at any instant: the materialized
         // path opens first and only counts a hit when the open
-        // succeeded (an exists()-then-read pair would be fatal in
-        // between), the streaming path leaves the open to phase 2,
-        // which already falls back to the kernel.
+        // succeeded, the streaming path leaves the open to phase 2,
+        // which already falls back to the kernel. A file that opens
+        // but fails integrity verification is quarantined here so the
+        // miss path below regenerates it.
         const auto tryHit = [&]() -> bool {
             if (!streaming_) {
-                auto trace = readTraceFileIfReadable(file);
+                std::optional<core::Trace> trace;
+                try {
+                    trace = readTraceFileIfReadable(
+                        file, /*require_checksum=*/true);
+                } catch (const TraceIoError &) {
+                    quarantineTraceFile(file);
+                    cache_quarantined.fetch_add(
+                        1, std::memory_order_relaxed);
+                    return false;
+                }
                 if (!trace)
                     return false;
                 traces[i] = std::move(*trace);
@@ -491,23 +612,36 @@ Experiment::run() const
         // missing on the same key generate once between them — the
         // loser of the race waits here, then finds the winner's file
         // on the re-check. (In-process, distinct jobs have distinct
-        // keys, so the lock never self-serializes a grid.)
-        TraceCacheLock lock(file);
-        if (tryHit()) {
-            cache_hits.fetch_add(1, std::memory_order_relaxed);
-            return;
+        // keys, so the lock never self-serializes a grid.) Any cache
+        // I/O failure inside the boundary — lock, write, publish —
+        // degrades this job to uncached: the trace the cells need is
+        // (re)generated from the kernel, which never touches disk.
+        try {
+            TraceCacheLock lock(file);
+            if (tryHit()) {
+                cache_hits.fetch_add(1, std::memory_order_relaxed);
+                return;
+            }
+            if (streaming_) {
+                auto kernel =
+                    makeKernel(jobs[i].name, jobs[i].platform);
+                TraceFileWriteSink sink(file);
+                kernel->stream()->drainTo(sink);
+                sink.finish();
+            } else {
+                traces[i] = makeKernel(jobs[i].name, jobs[i].platform)
+                                ->generate();
+                writeTraceFile(traces[i], file);
+            }
+            cache_misses.fetch_add(1, std::memory_order_relaxed);
+        } catch (const TraceIoError &) {
+            cache_faults.fetch_add(1, std::memory_order_relaxed);
+            if (!streaming_ && traces[i].empty())
+                traces[i] = makeKernel(jobs[i].name, jobs[i].platform)
+                                ->generate();
+            // Streaming cells find no file in phase 2 and stream
+            // their own fresh kernel.
         }
-        if (streaming_) {
-            auto kernel = makeKernel(jobs[i].name, jobs[i].platform);
-            TraceFileWriteSink sink(file);
-            kernel->stream()->drainTo(sink);
-            sink.finish();
-        } else {
-            traces[i] =
-                makeKernel(jobs[i].name, jobs[i].platform)->generate();
-            writeTraceFile(traces[i], file);
-        }
-        cache_misses.fetch_add(1, std::memory_order_relaxed);
     });
 
     // Phase 2: simulate every cell on fresh per-cell state. Streamed
@@ -520,49 +654,75 @@ Experiment::run() const
     parallelFor(cells.size(), replayWorkers, [&](std::size_t i) {
         const Cell &cell = cells[i];
         const TraceJob &job = jobs[cell.traceJob];
-        dram::DramSystem dram(cell.platform.dram);
-        protection::ProtectionConfig cfg = config_;
-        cfg.scheme = cell.scheme;
-        protection::ProtectionEngine engine(cfg, &dram);
-        PerfModel model(&engine, cell.platform.clockMhz);
-        const auto replay = [&](core::PhaseSource &source,
-                                core::PhaseSink *tee) {
-            if (!pipelined) {
-                results[i] = model.run(source);
-                return;
-            }
+        // Model state is built fresh per simulation attempt: when a
+        // cached replay dies mid-stream on a corrupt file, the retry
+        // from the kernel must not inherit half-replayed DRAM or
+        // metadata state.
+        const auto simulateTrace =
+            [&](const core::Trace &trace) -> RunResult {
+            dram::DramSystem dram(cell.platform.dram);
+            protection::ProtectionConfig cfg = config_;
+            cfg.scheme = cell.scheme;
+            protection::ProtectionEngine engine(cfg, &dram);
+            PerfModel model(&engine, cell.platform.clockMhz);
+            return model.run(trace);
+        };
+        const auto simulateStream =
+            [&](core::PhaseSource &source,
+                core::PhaseSink *tee) -> RunResult {
+            dram::DramSystem dram(cell.platform.dram);
+            protection::ProtectionConfig cfg = config_;
+            cfg.scheme = cell.scheme;
+            protection::ProtectionEngine engine(cfg, &dram);
+            PerfModel model(&engine, cell.platform.clockMhz);
+            if (!pipelined)
+                return model.run(source);
             PipelineOptions options;
             options.ringCapacity = pipelineRingCapacity_;
             options.tee = tee;
-            results[i] = runPipelined(model, source, options);
+            return runPipelined(model, source, options);
         };
         if (job.explicitTrace != nullptr) {
-            results[i] = model.run(*job.explicitTrace);
+            results[i] = simulateTrace(*job.explicitTrace);
             return;
         }
         if (!streaming_) {
-            results[i] = model.run(traces[cell.traceJob]);
+            results[i] = simulateTrace(traces[cell.traceJob]);
             return;
         }
-        if (!traceCacheDir_.empty()) {
+        if (!cacheDir.empty()) {
             const std::string file = cacheFilePath(job);
             // The cache is shared across processes, so another run's
             // eviction may have deleted the file since phase 1
             // touched it; fall back to streaming the kernel directly
-            // (equal keys guarantee the identical phase stream).
-            if (auto source = FilePhaseSource::openIfReadable(file)) {
-                if (job.deferred) {
-                    // Phase 1 never probed this key: account the hit
-                    // and refresh the mtime for LRU order here.
-                    std::error_code ec;
-                    std::filesystem::last_write_time(
-                        file,
-                        std::filesystem::file_time_type::clock::now(),
-                        ec);
-                    cache_hits.fetch_add(1, std::memory_order_relaxed);
+            // (equal keys guarantee the identical phase stream). A
+            // file that opens but fails verification — the checksum
+            // footer is only reached at the end of the replay — is
+            // quarantined, and the cell restarts on fresh state from
+            // the kernel.
+            if (auto source = FilePhaseSource::openIfReadable(
+                    file, /*require_checksum=*/true)) {
+                try {
+                    RunResult r = simulateStream(*source, nullptr);
+                    if (job.deferred) {
+                        // Phase 1 never probed this key: account the
+                        // hit and refresh the mtime for LRU order.
+                        std::error_code ec;
+                        std::filesystem::last_write_time(
+                            file,
+                            std::filesystem::file_time_type::clock::
+                                now(),
+                            ec);
+                        cache_hits.fetch_add(
+                            1, std::memory_order_relaxed);
+                    }
+                    results[i] = r;
+                    return;
+                } catch (const TraceIoError &) {
+                    quarantineTraceFile(file);
+                    cache_quarantined.fetch_add(
+                        1, std::memory_order_relaxed);
                 }
-                replay(*source, nullptr);
-                return;
             }
             if (job.deferred) {
                 // Single-cell cache miss: take the per-key
@@ -570,40 +730,67 @@ Experiment::run() const
                 // generating this very key right now), re-check, and
                 // only then stream the kernel once, teeing each phase
                 // into the cache file on the producer thread while
-                // this thread replays it.
-                auto lock = std::make_unique<TraceCacheLock>(file);
-                if (auto raced =
-                        FilePhaseSource::openIfReadable(file)) {
-                    lock.reset(); // published while we waited: a hit
-                    std::error_code ec;
-                    std::filesystem::last_write_time(
-                        file,
-                        std::filesystem::file_time_type::clock::now(),
-                        ec);
-                    cache_hits.fetch_add(1, std::memory_order_relaxed);
-                    replay(*raced, nullptr);
+                // this thread replays it. The guarded tee absorbs
+                // cache-write failures (ENOSPC mid-tee must not kill
+                // the replay sharing its phase stream); lock failures
+                // degrade the cell to plain uncached streaming below.
+                try {
+                    auto lock = std::make_unique<TraceCacheLock>(file);
+                    if (auto raced = FilePhaseSource::openIfReadable(
+                            file, /*require_checksum=*/true)) {
+                        bool replayed = false;
+                        try {
+                            RunResult r =
+                                simulateStream(*raced, nullptr);
+                            std::error_code ec;
+                            std::filesystem::last_write_time(
+                                file,
+                                std::filesystem::file_time_type::
+                                    clock::now(),
+                                ec);
+                            cache_hits.fetch_add(
+                                1, std::memory_order_relaxed);
+                            results[i] = r;
+                            replayed = true;
+                        } catch (const TraceIoError &) {
+                            quarantineTraceFile(file);
+                            cache_quarantined.fetch_add(
+                                1, std::memory_order_relaxed);
+                        }
+                        if (replayed)
+                            return;
+                        // fall through: regenerate under the lock
+                    }
+                    auto kernel = makeKernel(job.name, job.platform);
+                    auto source = kernel->stream();
+                    GuardedCacheSink sink(file);
+                    results[i] = simulateStream(*source, &sink);
+                    if (sink.finish())
+                        cache_misses.fetch_add(
+                            1, std::memory_order_relaxed);
+                    else
+                        cache_faults.fetch_add(
+                            1, std::memory_order_relaxed);
+                    lock.reset(); // published; waiters can hit now
                     return;
+                } catch (const TraceIoError &) {
+                    cache_faults.fetch_add(1,
+                                           std::memory_order_relaxed);
                 }
-                auto kernel = makeKernel(job.name, job.platform);
-                auto source = kernel->stream();
-                TraceFileWriteSink sink(file);
-                replay(*source, &sink);
-                sink.finish();
-                lock.reset(); // publish happened; waiters can hit now
-                cache_misses.fetch_add(1, std::memory_order_relaxed);
-                return;
             }
         }
         auto kernel = makeKernel(job.name, job.platform);
         auto source = kernel->stream();
-        replay(*source, nullptr);
+        results[i] = simulateStream(*source, nullptr);
     });
 
-    if (!traceCacheDir_.empty() && traceCacheMaxBytes_ > 0)
-        enforceTraceCacheLimit(traceCacheDir_, traceCacheMaxBytes_);
+    if (!cacheDir.empty() && traceCacheMaxBytes_ > 0)
+        enforceTraceCacheLimit(cacheDir, traceCacheMaxBytes_);
 
     ResultSet rs;
     rs.setTraceCacheStats(cache_hits.load(), cache_misses.load());
+    rs.setTraceCacheHealth(cache_quarantined.load(), cache_swept,
+                           cache_faults.load());
     for (std::size_t i = 0; i < cells.size(); ++i)
         rs.add({{cells[i].entry->label, cells[i].platform.name,
                  cells[i].scheme},

@@ -33,6 +33,7 @@
 #ifndef MGX_SIM_EXPERIMENT_H
 #define MGX_SIM_EXPERIMENT_H
 
+#include <chrono>
 #include <cstddef>
 #include <optional>
 #include <string>
@@ -76,12 +77,38 @@ class ResultSet
     u64 traceCacheHits() const { return traceCacheHits_; }
     u64 traceCacheMisses() const { return traceCacheMisses_; }
 
+    /** Cache files that failed integrity verification this run and
+     *  were renamed to `*.trace.bad` (the cell regenerated from the
+     *  kernel instead). */
+    u64 traceCacheQuarantined() const { return traceCacheQuarantined_; }
+
+    /** Abandoned `*.trace.tmp.*` / stale `*.trace.bad` files removed
+     *  by the startup sweep. */
+    u64 traceCacheSwept() const { return traceCacheSwept_; }
+
+    /** Cache-machinery failures (unwritable dir, failed lock, failed
+     *  publish) the run absorbed by streaming kernels directly. */
+    u64 traceCacheFaults() const { return traceCacheFaults_; }
+
+    /** True when any cell ran uncached because the cache misbehaved —
+     *  results are still exact, only reuse was lost. */
+    bool cacheDegraded() const { return traceCacheFaults_ > 0; }
+
     /** Record the trace-cache outcome (set by Experiment::run). */
     void
     setTraceCacheStats(u64 hits, u64 misses)
     {
         traceCacheHits_ = hits;
         traceCacheMisses_ = misses;
+    }
+
+    /** Record the cache-health outcome (set by Experiment::run). */
+    void
+    setTraceCacheHealth(u64 quarantined, u64 swept, u64 faults)
+    {
+        traceCacheQuarantined_ = quarantined;
+        traceCacheSwept_ = swept;
+        traceCacheFaults_ = faults;
     }
 
     /** The cell at @p key, or nullptr if it was never run. */
@@ -123,6 +150,9 @@ class ResultSet
     std::vector<RunRecord> records_;
     u64 traceCacheHits_ = 0;
     u64 traceCacheMisses_ = 0;
+    u64 traceCacheQuarantined_ = 0;
+    u64 traceCacheSwept_ = 0;
+    u64 traceCacheFaults_ = 0;
 };
 
 /** Builder for one workload x platform x scheme run grid. */
@@ -260,6 +290,18 @@ class Experiment
  * the cache is shared across processes.
  */
 u64 enforceTraceCacheLimit(const std::string &dir, u64 max_bytes);
+
+/**
+ * Remove trace-cache debris from @p dir: abandoned `*.trace.tmp.*`
+ * temporaries (a writer that crashed between open and publish leaks
+ * one forever) and stale `*.trace.bad` quarantine files, both only
+ * when older than @p grace — a live writer's temporary is never
+ * touched. Returns the number of files removed. Experiment::run
+ * performs this sweep on its cache directory at startup; racing
+ * sweepers across processes are tolerated.
+ */
+u64 sweepTraceCacheDebris(const std::string &dir,
+                          std::chrono::seconds grace);
 
 } // namespace mgx::sim
 

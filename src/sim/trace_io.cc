@@ -1,6 +1,8 @@
 #include "trace_io.h"
 
 #include <cerrno>
+#include <cstdarg>
+#include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -12,10 +14,41 @@
 #include <sys/file.h>
 #include <unistd.h>
 
-#include "common/log.h"
+#include "common/checksum.h"
+#include "common/failpoint.h"
 
 namespace mgx::sim {
 namespace {
+
+// Every filesystem boundary is a failpoint, registered at load so
+// `failpoint::all()` sees the complete set before any test arms one.
+failpoint::Point &fpReadOpen =
+    failpoint::Point::get("trace_io.read.open");
+failpoint::Point &fpReadCorrupt =
+    failpoint::Point::get("trace_io.read.corrupt");
+failpoint::Point &fpWriteOpen =
+    failpoint::Point::get("trace_io.write.open");
+failpoint::Point &fpWriteEnospc =
+    failpoint::Point::get("trace_io.write.enospc");
+failpoint::Point &fpWriteShort =
+    failpoint::Point::get("trace_io.write.short");
+failpoint::Point &fpWriteTorn =
+    failpoint::Point::get("trace_io.write.torn");
+failpoint::Point &fpLockOpen =
+    failpoint::Point::get("trace_io.lock.open");
+failpoint::Point &fpLockEintr =
+    failpoint::Point::get("trace_io.lock.eintr");
+
+[[noreturn]] void
+raise(const char *fmt, ...)
+{
+    char buf[512];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buf, sizeof buf, fmt, args);
+    va_end(args);
+    throw TraceIoError(buf);
+}
 
 const char *
 classToken(DataClass dc)
@@ -36,7 +69,7 @@ classFromToken(const std::string &token, unsigned line)
     for (DataClass dc : kAll)
         if (token == dataClassName(dc))
             return dc;
-    fatal("trace line %u: unknown data class '%s'", line, token.c_str());
+    raise("trace line %u: unknown data class '%s'", line, token.c_str());
 }
 
 /** Serialize one phase header line — shared by every writer. */
@@ -62,26 +95,65 @@ writeAccessLine(std::ostream &out, const core::LogicalAccess &acc)
  * Incremental line-by-line parser shared by the materializing reader
  * and the streaming FilePhaseSource: accumulates the open phase in a
  * reused scratch buffer and reports when a phase completed (the next
- * "P" line arrived, or input ended).
+ * "P" line arrived, the checksum footer closed the file, or input
+ * ended).
+ *
+ * Understands the v2 integrity envelope: an `M mgx-trace 2` first
+ * line arms CRC32 accumulation over every subsequent payload line,
+ * and the `C <crc-hex> <payloadBytes>` footer is verified against
+ * it. Once a header was seen, a missing footer at end of input is a
+ * truncation error. In `require_checksum` mode, input without the
+ * envelope is rejected outright.
  */
 class TraceParser
 {
   public:
+    explicit TraceParser(bool require_checksum = false)
+        : requireChecksum_(require_checksum)
+    {
+    }
+
     /**
-     * Parse one line. Returns true when the *previous* phase was
-     * completed by this line, in which case it is available via
-     * completed() until the next feed()/finish() call. Fatal on
+     * Parse one line. Returns true when a phase was completed by
+     * this line, in which case it is available via completed() until
+     * the next feed()/finish() call. Throws TraceIoError on
      * malformed lines (with the line number).
      */
     bool
     feed(const std::string &line)
     {
         ++lineNo_;
+        if (sawFooter_)
+            raise("trace line %u: data after checksum footer",
+                  lineNo_);
+        if (checksummed_ && line.compare(0, 2, "C ") != 0) {
+            crc_ = crc32Update(crc_, line.data(), line.size());
+            crc_ = crc32Update(crc_, "\n", 1);
+            payloadBytes_ += line.size() + 1;
+        }
         if (line.empty() || line[0] == '#')
             return false;
         std::istringstream ss(line);
         std::string tag;
         ss >> tag;
+        if (tag == "M") {
+            std::string magic;
+            unsigned version = 0;
+            ss >> magic >> version;
+            if (lineNo_ != 1 || ss.fail() || magic != "mgx-trace")
+                raise("trace line %u: malformed format header",
+                      lineNo_);
+            if (version != kTraceFormatVersion)
+                raise("trace line %u: unsupported trace format "
+                      "version %u",
+                      lineNo_, version);
+            checksummed_ = true;
+            return false;
+        }
+        if (requireChecksum_ && !checksummed_)
+            raise("trace line %u: missing integrity header "
+                  "(not a checksummed trace file)",
+                  lineNo_);
         if (tag == "P") {
             // The incoming header closes the previous phase: move it
             // to the completed slot and start accumulating the new one.
@@ -94,7 +166,7 @@ class TraceParser
             scratch_.accesses.clear();
             ss >> scratch_.name >> scratch_.computeCycles;
             if (ss.fail())
-                fatal("trace line %u: malformed phase header", lineNo_);
+                raise("trace line %u: malformed phase header", lineNo_);
             if (scratch_.name == "-")
                 scratch_.name.clear();
             open_ = true;
@@ -102,7 +174,7 @@ class TraceParser
         }
         if (tag == "A") {
             if (!open_)
-                fatal("trace line %u: access before any phase",
+                raise("trace line %u: access before any phase",
                       lineNo_);
             char rw = 0;
             std::string cls;
@@ -111,20 +183,57 @@ class TraceParser
                 cls >> std::hex >> acc.vn >> std::dec >>
                 acc.macGranularity;
             if (ss.fail() || (rw != 'r' && rw != 'w'))
-                fatal("trace line %u: malformed access", lineNo_);
+                raise("trace line %u: malformed access", lineNo_);
             acc.type = rw == 'w' ? AccessType::Write : AccessType::Read;
             acc.cls = classFromToken(cls, lineNo_);
             scratch_.accesses.push_back(acc);
             return false;
         }
-        fatal("trace line %u: unknown record '%s'", lineNo_,
+        if (tag == "C") {
+            if (!checksummed_)
+                raise("trace line %u: unknown record 'C'", lineNo_);
+            u32 expectedCrc = 0;
+            u64 expectedBytes = 0;
+            ss >> std::hex >> expectedCrc >> std::dec >> expectedBytes;
+            if (ss.fail())
+                raise("trace line %u: malformed checksum footer",
+                      lineNo_);
+            if (fpReadCorrupt.fire() || expectedCrc != crc_ ||
+                expectedBytes != payloadBytes_)
+                raise("trace checksum mismatch (file corrupt): "
+                      "footer %08x/%llu, computed %08x/%llu",
+                      expectedCrc,
+                      static_cast<unsigned long long>(expectedBytes),
+                      crc_,
+                      static_cast<unsigned long long>(payloadBytes_));
+            sawFooter_ = true;
+            // The footer closes the file: deliver the final phase.
+            if (open_) {
+                std::swap(scratch_, completed_);
+                open_ = false;
+                return true;
+            }
+            return false;
+        }
+        raise("trace line %u: unknown record '%s'", lineNo_,
               tag.c_str());
     }
 
-    /** End of input: returns true if a final phase is available. */
+    /**
+     * End of input: returns true if a final phase is available.
+     * Throws if a checksummed stream ended without its footer
+     * (truncation) or a required envelope never appeared.
+     */
     bool
     finish()
     {
+        if (checksummed_ && !sawFooter_)
+            raise("truncated trace (missing checksum footer after "
+                  "line %u)",
+                  lineNo_);
+        if (requireChecksum_ && !checksummed_)
+            raise("missing integrity header "
+                  "(not a checksummed trace file)");
         if (!open_)
             return false;
         std::swap(scratch_, completed_);
@@ -138,6 +247,11 @@ class TraceParser
     core::Phase scratch_;   ///< the phase currently being accumulated
     core::Phase completed_; ///< the last fully parsed phase
     bool open_ = false;
+    bool requireChecksum_ = false;
+    bool checksummed_ = false; ///< saw the v2 header; verifying CRC
+    bool sawFooter_ = false;
+    u32 crc_ = 0;
+    u64 payloadBytes_ = 0;
     unsigned lineNo_ = 0;
 };
 
@@ -162,10 +276,10 @@ traceToString(const core::Trace &trace)
 }
 
 core::Trace
-readTrace(std::istream &in)
+readTrace(std::istream &in, bool require_checksum)
 {
     core::Trace trace;
-    TraceParser parser;
+    TraceParser parser(require_checksum);
     std::string line;
     while (std::getline(in, line))
         if (parser.feed(line))
@@ -186,18 +300,31 @@ core::Trace
 readTraceFile(const std::string &path)
 {
     std::ifstream in(path);
-    if (!in)
-        fatal("cannot read trace file '%s'", path.c_str());
+    if (fpReadOpen.fire() || !in)
+        raise("cannot read trace file '%s'", path.c_str());
     return readTrace(in);
 }
 
 std::optional<core::Trace>
-readTraceFileIfReadable(const std::string &path)
+readTraceFileIfReadable(const std::string &path, bool require_checksum)
 {
     std::ifstream in(path);
-    if (!in)
+    if (fpReadOpen.fire() || !in)
         return std::nullopt;
-    return readTrace(in);
+    return readTrace(in, require_checksum);
+}
+
+bool
+quarantineTraceFile(const std::string &path) noexcept
+{
+    std::error_code ec;
+    std::filesystem::rename(path, path + ".bad", ec);
+    if (!ec)
+        return true;
+    // Rename across a broken directory can itself fail; removing the
+    // corrupt file still unblocks regeneration.
+    std::filesystem::remove(path, ec);
+    return false;
 }
 
 // ---------------------------------------------------------------------------
@@ -208,21 +335,33 @@ TraceCacheLock::TraceCacheLock(const std::string &trace_path)
     : lockPath_(trace_path + ".lock")
 {
     fd_ = ::open(lockPath_.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+    if (fpLockOpen.fire() && fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+        errno = EACCES;
+    }
     if (fd_ < 0)
-        fatal("cannot open trace-cache lock '%s': %s",
+        raise("cannot open trace-cache lock '%s': %s",
               lockPath_.c_str(), std::strerror(errno));
-    while (::flock(fd_, LOCK_EX) != 0) {
+    while (true) {
+        if (fpLockEintr.fire())
+            continue; // injected EINTR: retry like the real signal
+        if (::flock(fd_, LOCK_EX) == 0)
+            break;
         if (errno == EINTR)
             continue;
         const int err = errno;
         ::close(fd_);
-        fatal("cannot lock trace-cache lock '%s': %s",
+        fd_ = -1;
+        raise("cannot lock trace-cache lock '%s': %s",
               lockPath_.c_str(), std::strerror(err));
     }
 }
 
 TraceCacheLock::~TraceCacheLock()
 {
+    if (fd_ < 0)
+        return;
     // close() releases the flock; the .lock file stays (see header).
     ::flock(fd_, LOCK_UN);
     ::close(fd_);
@@ -248,7 +387,10 @@ struct TraceFileWriteSink::Impl
     std::string path;
     std::string tmp;
     std::ofstream out;
+    std::ostringstream scratch; ///< per-phase staging for the CRC
     bool finished = false;
+    u32 crc = 0;
+    u64 payloadBytes = 0;
     u64 phases = 0;
     u64 dataBytes = 0;
 };
@@ -263,8 +405,15 @@ TraceFileWriteSink::TraceFileWriteSink(const std::string &path)
     impl_->path = path;
     impl_->tmp = path + ".tmp." + std::to_string(::getpid());
     impl_->out.open(impl_->tmp);
+    if (fpWriteOpen.fire() && impl_->out) {
+        impl_->out.close();
+        std::error_code ignored;
+        std::filesystem::remove(impl_->tmp, ignored);
+        impl_->out.setstate(std::ios::failbit);
+    }
     if (!impl_->out)
-        fatal("cannot write trace file '%s'", impl_->tmp.c_str());
+        raise("cannot write trace file '%s'", impl_->tmp.c_str());
+    impl_->out << "M mgx-trace " << kTraceFormatVersion << '\n';
 }
 
 TraceFileWriteSink::~TraceFileWriteSink()
@@ -281,10 +430,29 @@ TraceFileWriteSink::~TraceFileWriteSink()
 void
 TraceFileWriteSink::consume(const core::Phase &phase)
 {
-    writePhaseHeader(impl_->out, phase.name, phase.computeCycles);
+    // Stage the phase's lines once so the CRC and the file see the
+    // same bytes.
+    impl_->scratch.str(std::string());
+    impl_->scratch.clear();
+    writePhaseHeader(impl_->scratch, phase.name, phase.computeCycles);
     for (const auto &acc : phase.accesses) {
-        writeAccessLine(impl_->out, acc);
+        writeAccessLine(impl_->scratch, acc);
         impl_->dataBytes += acc.bytes;
+    }
+    const std::string text = impl_->scratch.str();
+    impl_->crc = crc32Update(impl_->crc, text.data(), text.size());
+    impl_->payloadBytes += text.size();
+    impl_->out.write(text.data(),
+                     static_cast<std::streamsize>(text.size()));
+    if (fpWriteEnospc.fire() || !impl_->out) {
+        // Simulated (or real) ENOSPC mid-write: drop the temporary
+        // immediately so a full disk holds no half-written debris,
+        // and surface the failure to the producer.
+        impl_->out.close();
+        std::error_code ignored;
+        std::filesystem::remove(impl_->tmp, ignored);
+        raise("short write to trace file '%s' (disk full?)",
+              impl_->tmp.c_str());
     }
     ++impl_->phases;
 }
@@ -308,17 +476,29 @@ TraceFileWriteSink::finish()
         std::error_code ignored;
         std::filesystem::remove(impl_->tmp, ignored);
     };
-    if (!impl_->out.flush()) {
+    char footer[64];
+    std::snprintf(footer, sizeof footer, "C %08x %llu\n", impl_->crc,
+                  static_cast<unsigned long long>(impl_->payloadBytes));
+    impl_->out << footer;
+    if (fpWriteShort.fire() || !impl_->out.flush()) {
         impl_->out.close();
         failCleanup();
-        fatal("short write to trace file '%s'", impl_->tmp.c_str());
+        raise("short write to trace file '%s'", impl_->tmp.c_str());
     }
     impl_->out.close();
+    if (fpWriteTorn.fire()) {
+        // Simulate a crash between the write and the publish: the
+        // temporary stays behind (the startup sweep's job), the
+        // destination never appears.
+        impl_->finished = true;
+        raise("cannot publish trace file '%s': injected torn rename",
+              impl_->path.c_str());
+    }
     std::error_code ec;
     std::filesystem::rename(impl_->tmp, impl_->path, ec);
     if (ec) {
         failCleanup();
-        fatal("cannot publish trace file '%s': %s",
+        raise("cannot publish trace file '%s': %s",
               impl_->path.c_str(), ec.message().c_str());
     }
     impl_->finished = true;
@@ -339,18 +519,21 @@ writeTraceFile(const core::Trace &trace, const std::string &path)
 
 struct FilePhaseSource::Impl
 {
+    explicit Impl(bool require_checksum) : parser(require_checksum) {}
+
     std::ifstream in;
     TraceParser parser;
     std::string line;
     bool eof = false;
 };
 
-FilePhaseSource::FilePhaseSource(const std::string &path)
-    : impl_(std::make_unique<Impl>())
+FilePhaseSource::FilePhaseSource(const std::string &path,
+                                 bool require_checksum)
+    : impl_(std::make_unique<Impl>(require_checksum))
 {
     impl_->in.open(path);
-    if (!impl_->in)
-        fatal("cannot read trace file '%s'", path.c_str());
+    if (fpReadOpen.fire() || !impl_->in)
+        raise("cannot read trace file '%s'", path.c_str());
 }
 
 FilePhaseSource::FilePhaseSource(std::unique_ptr<Impl> impl)
@@ -359,11 +542,12 @@ FilePhaseSource::FilePhaseSource(std::unique_ptr<Impl> impl)
 }
 
 std::unique_ptr<FilePhaseSource>
-FilePhaseSource::openIfReadable(const std::string &path)
+FilePhaseSource::openIfReadable(const std::string &path,
+                                bool require_checksum)
 {
-    auto impl = std::make_unique<Impl>();
+    auto impl = std::make_unique<Impl>(require_checksum);
     impl->in.open(path);
-    if (!impl->in)
+    if (fpReadOpen.fire() || !impl->in)
         return nullptr;
     return std::unique_ptr<FilePhaseSource>(
         new FilePhaseSource(std::move(impl)));

@@ -9,6 +9,27 @@
  *   P <name> <computeCycles>
  *   A <r|w> <addr-hex> <bytes> <class> <vn-hex> <macGran>
  *
+ * Files written by TraceFileWriteSink (and writeTraceFile, which
+ * wraps it) carry an integrity envelope around that payload — a
+ * versioned magic header and a running CRC32 footer:
+ *
+ *   M mgx-trace 2
+ *   P ...                        | payload, CRC32-covered
+ *   A ...                        | byte for byte
+ *   C <crc32-hex> <payloadBytes>
+ *
+ * Readers verify the envelope when present: a CRC or byte-count
+ * mismatch, a missing footer (truncation), or any malformed line
+ * raises TraceIoError instead of killing the process, so a daemon
+ * sharing a trace-cache directory with unreliable disks and peer
+ * processes can quarantine the file (quarantineTraceFile) and
+ * regenerate from the kernel. Headerless legacy streams still parse
+ * in lenient mode — writeTrace/traceToString stay envelope-free so
+ * dumps remain diffable and content comparisons format-agnostic —
+ * while `requireChecksum` rejects any file without a verified
+ * envelope (what Experiment uses for cache files, where v2 names
+ * guarantee one).
+ *
  * Both directions stream: TraceWriteSink / TraceFileWriteSink are
  * PhaseSinks that serialize phases as a producer emits them (so a
  * kernel stream can be archived without materializing), and
@@ -16,6 +37,11 @@
  * PhaseSource holding one phase in memory at a time. The
  * whole-trace read/write functions are thin wrappers over the same
  * line format, so the two paths cannot drift.
+ *
+ * Every filesystem boundary in this file is a named failpoint (see
+ * common/failpoint.h, `trace_io.*`), so tests and chaos benches can
+ * deterministically inject ENOSPC, torn renames, corrupt reads, and
+ * EINTR storms.
  */
 
 #ifndef MGX_SIM_TRACE_IO_H
@@ -24,6 +50,7 @@
 #include <iosfwd>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
 
 #include "core/phase.h"
@@ -31,32 +58,62 @@
 
 namespace mgx::sim {
 
-/** Serialize @p trace to @p out. */
+/** Trace-file format version written by TraceFileWriteSink. */
+inline constexpr unsigned kTraceFormatVersion = 2;
+
+/**
+ * Any trace I/O failure: open/write/rename errors, malformed lines
+ * (with the line number), checksum mismatches, truncation. CLIs let
+ * it propagate to a fatal top-level handler; the Experiment cache
+ * paths and the serve daemon catch it and degrade.
+ */
+class TraceIoError : public std::runtime_error
+{
+  public:
+    explicit TraceIoError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/** Serialize @p trace to @p out (payload only, no envelope). */
 void writeTrace(const core::Trace &trace, std::ostream &out);
 
 /** Serialize to a string (tests / small traces). */
 std::string traceToString(const core::Trace &trace);
 
 /**
- * Parse a serialized trace. Fatal on malformed input with the
- * offending line number.
+ * Parse a serialized trace. Throws TraceIoError on malformed input
+ * with the offending line number. @p require_checksum additionally
+ * rejects input without a verified integrity envelope.
  */
-core::Trace readTrace(std::istream &in);
+core::Trace readTrace(std::istream &in, bool require_checksum = false);
 
 /** Parse from a string. */
 core::Trace traceFromString(const std::string &text);
 
-/** Read a trace from @p path. Fatal on IO or parse errors. */
+/** Read a trace from @p path. Throws TraceIoError on IO or parse
+ *  errors. */
 core::Trace readTraceFile(const std::string &path);
 
 /**
- * Non-fatal variant of readTraceFile: nullopt when @p path cannot be
- * opened — for callers racing a concurrent evictor in a shared trace
- * cache (the file is either absent or complete, thanks to the atomic
- * tmp+rename publish, so parse errors stay fatal).
+ * Non-fatal-open variant of readTraceFile: nullopt when @p path
+ * cannot be opened — for callers racing a concurrent evictor in a
+ * shared trace cache. Parse/checksum errors on a file that *did*
+ * open still throw TraceIoError (the caller quarantines).
  */
 std::optional<core::Trace>
-readTraceFileIfReadable(const std::string &path);
+readTraceFileIfReadable(const std::string &path,
+                        bool require_checksum = false);
+
+/**
+ * Move a failed-verification trace file out of the cache's way:
+ * rename `<path>` to `<path>.bad` (replacing any previous quarantine
+ * of the same key) so the next miss regenerates while the corrupt
+ * bytes stay inspectable. Returns false if the rename failed (the
+ * file is then removed outright as a last resort). Never throws.
+ */
+bool quarantineTraceFile(const std::string &path) noexcept;
 
 /**
  * Cross-process mutual exclusion around one trace-cache key: an
@@ -68,13 +125,14 @@ readTraceFileIfReadable(const std::string &path);
  * holder dies, so a crashed generator never wedges the key. The
  * `.lock` file itself is left behind (unlinking it would race new
  * acquirers); LRU eviction only ever deletes `*.trace` files, so the
- * locks never collide with it.
+ * locks never collide with it. EINTR during the wait is retried.
  */
 class TraceCacheLock
 {
   public:
-    /** Blocks until the lock on `<trace_path>.lock` is held. Fatal on
-     *  IO errors (e.g. the cache directory vanished). */
+    /** Blocks until the lock on `<trace_path>.lock` is held. Throws
+     *  TraceIoError on IO errors (e.g. the cache directory
+     *  vanished). */
     explicit TraceCacheLock(const std::string &trace_path);
     ~TraceCacheLock();
 
@@ -92,8 +150,8 @@ class TraceCacheLock
  * Atomically publish @p trace at @p path: serialize into a
  * process-unique temporary sibling, then rename it into place, so a
  * concurrent reader (another experiment process sharing a trace
- * cache) never observes a partially written trace. Fatal on IO
- * errors.
+ * cache) never observes a partially written trace. Throws
+ * TraceIoError on IO errors.
  */
 void writeTraceFile(const core::Trace &trace, const std::string &path);
 
@@ -117,9 +175,11 @@ class TraceWriteSink final : public core::PhaseSink
 /**
  * Streaming equivalent of writeTraceFile(): consumes phases into a
  * process-unique temporary and publishes it at @p path by atomic
- * rename when finish() is called. Destroying the sink without
- * finish() discards the temporary (abandoned write). Fatal on IO
- * errors.
+ * rename when finish() is called, wrapped in the checksummed v2
+ * envelope. Destroying the sink without finish() discards the
+ * temporary (abandoned write). Throws TraceIoError on IO errors; a
+ * failed consume() removes the temporary before throwing, so a full
+ * disk never publishes (or leaks) anything.
  */
 class TraceFileWriteSink final : public core::PhaseSink
 {
@@ -146,24 +206,29 @@ class TraceFileWriteSink final : public core::PhaseSink
 /**
  * Pull-based reader of a serialized trace: emits one phase per
  * nextChunk() through a reused scratch buffer, so replaying a
- * trace file needs memory for one phase, not the workload. Fatal on
- * open failure and on malformed input (with the line number), like
- * readTraceFile.
+ * trace file needs memory for one phase, not the workload. Throws
+ * TraceIoError on open failure and on malformed/corrupt input (with
+ * the line number), like readTraceFile; note the checksum footer is
+ * only reached by the *last* nextChunk(), so a corrupt tail
+ * surfaces near the end of a replay — callers that recover must
+ * discard the partial run and restart from the kernel.
  */
 class FilePhaseSource final : public core::PhaseSource
 {
   public:
-    explicit FilePhaseSource(const std::string &path);
+    explicit FilePhaseSource(const std::string &path,
+                             bool require_checksum = false);
     ~FilePhaseSource() override;
 
     /**
-     * Non-fatal variant: nullptr when @p path cannot be opened — for
-     * callers with a fallback (e.g. a shared trace cache whose file a
-     * concurrent process may have evicted between the existence check
-     * and the replay).
+     * Non-fatal-open variant: nullptr when @p path cannot be opened —
+     * for callers with a fallback (e.g. a shared trace cache whose
+     * file a concurrent process may have evicted between the
+     * existence check and the replay).
      */
     static std::unique_ptr<FilePhaseSource>
-    openIfReadable(const std::string &path);
+    openIfReadable(const std::string &path,
+                   bool require_checksum = false);
 
     bool nextChunk(core::PhaseSink &sink) override;
 

@@ -603,5 +603,159 @@ TEST(ServerTest, TcpLoopbackEphemeralPortWorks)
     server.shutdown();
 }
 
+// ---------------------------------------------------------------------
+// Robustness: oversized requests, liveness, client retries
+// ---------------------------------------------------------------------
+
+TEST(Http, OversizedRequestSetsTooLarge)
+{
+    // Exceeding the 1 MiB request cap is a distinct failure from
+    // garbage framing: the parser flags it so the server can answer
+    // 431 instead of a generic 400.
+    {
+        Parser p;
+        std::string raw = "GET /run?workload=";
+        raw.append(2u << 20, 'a');
+        EXPECT_EQ(p.feed(raw.data(), raw.size()),
+                  Parser::Status::Error);
+        EXPECT_TRUE(p.tooLarge());
+        EXPECT_FALSE(p.error().empty());
+    }
+    {
+        Parser p;
+        const std::string raw = "NONSENSE\r\n\r\n";
+        EXPECT_EQ(p.feed(raw.data(), raw.size()),
+                  Parser::Status::Error);
+        EXPECT_FALSE(p.tooLarge());
+    }
+}
+
+TEST(ServerTest, OversizedRequestAnswers431)
+{
+    ServerOptions opts;
+    opts.listen.unixPath = testSocketPath("431");
+    Server server(opts);
+    server.setCellRunnerForTest(syntheticOutcome);
+    server.start();
+    const SocketAddress addr{opts.listen.unixPath, "127.0.0.1", 0};
+
+    // A request line just over the 1 MiB cap: refused with the
+    // specific status, counted, and the daemon keeps serving.
+    std::string target = "/run?workload=";
+    target.append(1u << 20, 'a');
+    HttpResponse resp;
+    std::string error;
+    ASSERT_TRUE(httpGet(addr, target, &resp, &error)) << error;
+    EXPECT_EQ(resp.status, 431);
+    EXPECT_EQ(resp.reason, "Request Header Fields Too Large");
+
+    ASSERT_TRUE(httpGet(addr, "/stats", &resp, &error)) << error;
+    EXPECT_EQ(resp.status, 200);
+    EXPECT_NE(resp.body.find("\"oversized\": 1"), std::string::npos);
+    EXPECT_EQ(server.metricsSnapshot().oversized, 1u);
+    server.shutdown();
+}
+
+TEST(ServerTest, HealthzReportsLiveness)
+{
+    ServerOptions opts;
+    opts.listen.unixPath = testSocketPath("healthz");
+    Server server(opts);
+    server.start();
+    const SocketAddress addr{opts.listen.unixPath, "127.0.0.1", 0};
+
+    HttpResponse resp;
+    std::string error;
+    ASSERT_TRUE(httpGet(addr, "/healthz", &resp, &error)) << error;
+    EXPECT_EQ(resp.status, 200);
+    EXPECT_NE(resp.body.find("\"ok\": true"), std::string::npos);
+    EXPECT_NE(resp.body.find("\"draining\": false"),
+              std::string::npos);
+    EXPECT_NE(resp.body.find("\"cacheDegraded\": false"),
+              std::string::npos);
+    server.shutdown();
+}
+
+TEST(ClientRetry, ConnectRefusedExhaustsAllAttempts)
+{
+    // Nothing listens here: every attempt fails at connect, so the
+    // retry loop runs to exhaustion and reports the attempt count.
+    SocketAddress addr;
+    addr.unixPath = testSocketPath("nobody-home");
+    RetryOptions retry;
+    retry.retries = 2;
+    retry.backoffMs = 1;
+    retry.seed = 7;
+
+    HttpResponse resp;
+    std::string error;
+    int attempts = 0;
+    EXPECT_FALSE(httpGetRetry(addr, "/stats", &resp, &error, 1000,
+                              retry, &attempts));
+    EXPECT_EQ(attempts, 3); // first try + 2 retries
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(ClientRetry, ExhaustedBackpressureReturnsTheLastStatus)
+{
+    // A server that answers 429 on every attempt: the retry loop
+    // exhausts, but the outcome is a *successful* transport with the
+    // server's final answer — "the server said no" must stay
+    // distinguishable from "the server never answered".
+    ServerOptions opts;
+    opts.listen.unixPath = testSocketPath("retry429");
+    opts.workers = 1;
+    opts.admissionCapacity = 1;
+    Server server(opts);
+
+    std::atomic<bool> release{false};
+    server.setCellRunnerForTest([&](const CellKey &cell) {
+        while (!release.load(std::memory_order_acquire))
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        return syntheticOutcome(cell);
+    });
+    server.start();
+    const SocketAddress addr{opts.listen.unixPath, "127.0.0.1", 0};
+    const std::string target =
+        "/run?workload=core%2Fmatmul&schemes=NP";
+
+    // Wedge the only worker, then fill the one queue slot.
+    std::thread first([&] {
+        HttpResponse resp;
+        std::string error;
+        ASSERT_TRUE(httpGet(addr, target, &resp, &error)) << error;
+        EXPECT_EQ(resp.status, 200);
+    });
+    ASSERT_TRUE(eventually(
+        [&] { return server.metricsSnapshot().inFlight >= 1; }));
+    std::thread second([&] {
+        HttpResponse resp;
+        std::string error;
+        ASSERT_TRUE(httpGet(addr, target, &resp, &error)) << error;
+        EXPECT_EQ(resp.status, 200);
+    });
+    ASSERT_TRUE(eventually(
+        [&] { return server.metricsSnapshot().queueDepth >= 1; }));
+
+    RetryOptions retry;
+    retry.retries = 2;
+    retry.backoffMs = 1;
+    retry.seed = 7;
+    HttpResponse resp;
+    std::string error;
+    int attempts = 0;
+    ASSERT_TRUE(httpGetRetry(addr, target, &resp, &error, 5000, retry,
+                             &attempts))
+        << error;
+    EXPECT_EQ(resp.status, 429);
+    EXPECT_EQ(attempts, 3);
+    EXPECT_EQ(server.metricsSnapshot().rejected, 3u);
+
+    release.store(true, std::memory_order_release);
+    first.join();
+    second.join();
+    server.shutdown();
+}
+
 } // namespace
 } // namespace mgx::serve

@@ -260,7 +260,7 @@ TEST(Streaming, AbandonedFileWriteLeavesNothingBehind)
     fs::remove_all(dir);
 }
 
-TEST(StreamingDeathTest, MalformedFilesAreFatalWithLineNumbers)
+TEST(StreamingErrors, MalformedFilesThrowWithLineNumbers)
 {
     const fs::path dir =
         fs::temp_directory_path() / "mgx_stream_bad_test";
@@ -274,14 +274,19 @@ TEST(StreamingDeathTest, MalformedFilesAreFatalWithLineNumbers)
     {
         void consume(const core::Phase &) override {}
     };
-    EXPECT_DEATH(
-        {
-            NullSink sink;
-            FilePhaseSource(path).drainTo(sink);
-        },
-        "trace line 2: unknown data class");
-    EXPECT_DEATH(FilePhaseSource("/nonexistent/nope.trace"),
-                 "cannot read trace file");
+    try {
+        NullSink sink;
+        FilePhaseSource(path).drainTo(sink);
+        FAIL() << "malformed trace parsed without error";
+    } catch (const TraceIoError &e) {
+        EXPECT_NE(
+            std::string(e.what()).find("trace line 2: unknown data "
+                                       "class"),
+            std::string::npos)
+            << e.what();
+    }
+    EXPECT_THROW(FilePhaseSource("/nonexistent/nope.trace"),
+                 TraceIoError);
     fs::remove_all(dir);
 }
 
