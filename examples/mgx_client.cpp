@@ -11,6 +11,8 @@
  *   mgx_client --socket /tmp/mgx.sock --shutdown
  */
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -36,10 +38,19 @@ usage(std::FILE *out)
         "options:\n"
         "  --timeout-ms N         per-request timeout (default 120000)\n"
         "  --retries N            retry transient failures (connect\n"
-        "                         refused, IO error, 429/503) up to N\n"
+        "                         refused, IO error, reset after a\n"
+        "                         partial response, 429/503) up to N\n"
         "                         times (default 0)\n"
         "  --backoff-ms B         base retry delay; doubles per retry\n"
         "                         with jitter (default 100)\n"
+        "  --client-stats         print per-class attempt/failure\n"
+        "                         counters to stderr when done\n"
+        "  --repeat N             issue the request N times over one\n"
+        "                         kept-alive connection; prints a\n"
+        "                         latency summary to stderr (default 1)\n"
+        "  --no-keep-alive        with --repeat: reconnect for every\n"
+        "                         request instead of reusing the\n"
+        "                         connection\n"
         "  --help                 this message\n");
     return out == stdout ? 0 : 2;
 }
@@ -53,8 +64,10 @@ main(int argc, char **argv)
 
     serve::SocketAddress addr;
     std::string workloads, platforms, schemes;
-    bool stats = false, shutdown = false;
+    bool stats = false, shutdown = false, client_stats = false;
+    bool keep_alive = true;
     int timeout_ms = 120000;
+    int repeat = 1;
     serve::RetryOptions retry;
 
     for (int i = 1; i < argc; ++i) {
@@ -96,6 +109,12 @@ main(int argc, char **argv)
         } else if (arg == "--backoff-ms") {
             retry.backoffMs =
                 static_cast<int>(std::strtol(value(), nullptr, 10));
+        } else if (arg == "--client-stats") {
+            client_stats = true;
+        } else if (arg == "--repeat") {
+            repeat = static_cast<int>(std::strtol(value(), nullptr, 10));
+        } else if (arg == "--no-keep-alive") {
+            keep_alive = false;
         } else {
             std::fprintf(stderr, "mgx_client: unknown option '%s'\n",
                          arg.c_str());
@@ -156,8 +175,79 @@ main(int argc, char **argv)
     serve::HttpResponse resp;
     std::string error;
     int attempts = 0;
+    serve::RetryStats rstats;
+    const auto printClientStats = [&] {
+        if (!client_stats)
+            return;
+        std::fprintf(
+            stderr,
+            "mgx_client: stats: attempts %llu, connect %llu, "
+            "send %llu, recv %llu, partialResponse %llu, "
+            "parse %llu, backpressure %llu\n",
+            static_cast<unsigned long long>(rstats.attempts),
+            static_cast<unsigned long long>(rstats.connectFailures),
+            static_cast<unsigned long long>(rstats.sendFailures),
+            static_cast<unsigned long long>(rstats.recvFailures),
+            static_cast<unsigned long long>(rstats.partialResponses),
+            static_cast<unsigned long long>(rstats.parseFailures),
+            static_cast<unsigned long long>(rstats.backpressure));
+    };
+    if (repeat > 1) {
+        // Latency-measurement mode: the same request N times, either
+        // over one kept-alive connection or with a fresh connect per
+        // request (--no-keep-alive) — the delta is the connect cost.
+        serve::ClientConnection conn(addr);
+        double total_ms = 0, best_ms = 0, worst_ms = 0;
+        u64 reused = 0;
+        for (int r = 0; r < repeat; ++r) {
+            const auto t0 = std::chrono::steady_clock::now();
+            serve::GetFailure f = serve::GetFailure::None;
+            const bool ok =
+                keep_alive
+                    ? conn.get(target, &resp, &error, timeout_ms, &f)
+                    : serve::httpGet(addr, target, &resp, &error,
+                                     timeout_ms, &f);
+            ++rstats.attempts;
+            if (!ok) {
+                rstats.count(f);
+                printClientStats();
+                std::fprintf(stderr,
+                             "mgx_client: request %d/%d failed (%s): "
+                             "%s\n",
+                             r + 1, repeat, serve::getFailureName(f),
+                             error.c_str());
+                return 1;
+            }
+            const double ms =
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+            total_ms += ms;
+            best_ms = r == 0 ? ms : std::min(best_ms, ms);
+            worst_ms = std::max(worst_ms, ms);
+            if (keep_alive && conn.lastReused())
+                ++reused;
+            if (resp.status < 200 || resp.status >= 300) {
+                printClientStats();
+                std::fprintf(stderr, "mgx_client: HTTP %d %s\n",
+                             resp.status, resp.reason.c_str());
+                return 1;
+            }
+        }
+        printClientStats();
+        std::fprintf(stderr,
+                     "mgx_client: %d requests (%llu on reused "
+                     "connections): mean %.3f ms, min %.3f ms, "
+                     "max %.3f ms\n",
+                     repeat, static_cast<unsigned long long>(reused),
+                     total_ms / repeat, best_ms, worst_ms);
+        std::fputs(resp.body.c_str(), stdout);
+        return 0;
+    }
+
     if (!serve::httpGetRetry(addr, target, &resp, &error, timeout_ms,
-                             retry, &attempts)) {
+                             retry, &attempts, &rstats)) {
+        printClientStats();
         if (attempts > 1)
             std::fprintf(stderr,
                          "mgx_client: giving up after %d attempts: "
@@ -167,6 +257,7 @@ main(int argc, char **argv)
             std::fprintf(stderr, "mgx_client: %s\n", error.c_str());
         return 1;
     }
+    printClientStats();
     std::fputs(resp.body.c_str(), stdout);
     if (resp.status < 200 || resp.status >= 300) {
         if ((resp.status == 429 || resp.status == 503) && attempts > 1)

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * mgx_fleet: front-end proxy + supervisor for a fleet of mgx_serve
+ * workers. Forks N workers (each on its own unix socket, all sharing
+ * one trace-cache dir), routes /run by consistent hash of the
+ * request's cell set, probes /healthz, restarts dead workers with
+ * capped backoff, and fails requests over so a SIGKILLed worker
+ * never surfaces as a client error. See src/fleet/ and
+ * docs/ARCHITECTURE.md ("The fleet layer").
+ *
+ * Usage:
+ *   mgx_fleet --socket /tmp/mgx.sock --workers 3 \
+ *             --trace-cache ~/.cache/mgx
+ *   mgx_fleet --port 0 --workers 3     # prints the bound port
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <poll.h>
+#include <sys/stat.h>
+
+#include "fleet/fleet.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_signaled = 0;
+
+void
+onSignal(int)
+{
+    g_signaled = 1;
+}
+
+int
+usage(std::FILE *out)
+{
+    std::fprintf(
+        out,
+        "usage: mgx_fleet [options]\n"
+        "  --socket PATH          proxy listens on a unix socket\n"
+        "                         (default: TCP loopback)\n"
+        "  --port N               proxy TCP port (0 = kernel-assigned;\n"
+        "                         printed on startup)\n"
+        "  --workers N            mgx_serve worker processes\n"
+        "                         (default 3)\n"
+        "  --socket-dir DIR       where worker sockets live (default:\n"
+        "                         alongside --socket, else /tmp)\n"
+        "  --trace-cache DIR      shared trace cache for all workers\n"
+        "  --trace-cache-max-bytes N\n"
+        "                         LRU cap for the shared cache\n"
+        "  --worker-threads N     handler threads per worker\n"
+        "                         (default 2)\n"
+        "  --serve-binary PATH    the mgx_serve executable (default:\n"
+        "                         found next to mgx_fleet)\n"
+        "  --probe-interval-ms N  /healthz cadence (default 200)\n"
+        "  --hedge-ms N           hedge a slow /run to the next worker\n"
+        "                         after N ms (default 0 = off)\n"
+        "  --no-keep-alive        one request per client connection\n"
+        "  --quiet                no startup/shutdown chatter\n"
+        "  --help                 this message\n");
+    return out == stdout ? 0 : 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace mgx;
+
+    fleet::FleetOptions opts;
+    bool quiet = false;
+    std::string socket_dir;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "mgx_fleet: %s needs a value\n",
+                             arg.c_str());
+                std::exit(usage(stderr));
+            }
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h")
+            return usage(stdout);
+        if (arg == "--socket") {
+            opts.proxy.listen.unixPath = value();
+        } else if (arg == "--port") {
+            opts.proxy.listen.port =
+                static_cast<u16>(std::strtoul(value(), nullptr, 10));
+        } else if (arg == "--workers") {
+            opts.supervisor.workers =
+                static_cast<int>(std::strtol(value(), nullptr, 10));
+        } else if (arg == "--socket-dir") {
+            socket_dir = value();
+        } else if (arg == "--trace-cache") {
+            opts.supervisor.traceCacheDir = value();
+        } else if (arg == "--trace-cache-max-bytes") {
+            opts.supervisor.traceCacheMaxBytes =
+                std::strtoull(value(), nullptr, 10);
+        } else if (arg == "--worker-threads") {
+            opts.supervisor.workerThreads =
+                static_cast<u32>(std::strtoul(value(), nullptr, 10));
+        } else if (arg == "--serve-binary") {
+            opts.supervisor.serveBinary = value();
+        } else if (arg == "--probe-interval-ms") {
+            opts.supervisor.probeIntervalMs =
+                static_cast<int>(std::strtol(value(), nullptr, 10));
+        } else if (arg == "--hedge-ms") {
+            opts.proxy.hedgeMs =
+                static_cast<int>(std::strtol(value(), nullptr, 10));
+        } else if (arg == "--no-keep-alive") {
+            opts.proxy.keepAlive = false;
+        } else if (arg == "--quiet" || arg == "-q") {
+            quiet = true;
+        } else {
+            std::fprintf(stderr, "mgx_fleet: unknown option '%s'\n",
+                         arg.c_str());
+            return usage(stderr);
+        }
+    }
+
+    if (socket_dir.empty()) {
+        if (!opts.proxy.listen.unixPath.empty()) {
+            const std::string &p = opts.proxy.listen.unixPath;
+            const std::size_t slash = p.rfind('/');
+            socket_dir =
+                slash == std::string::npos ? "." : p.substr(0, slash);
+        } else {
+            socket_dir = "/tmp";
+        }
+    }
+    ::mkdir(socket_dir.c_str(), 0777); // best effort; bind reports
+    opts.supervisor.socketDir = socket_dir;
+
+    fleet::Fleet f(opts);
+    f.start();
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    if (!quiet)
+        std::printf("mgx_fleet: %d workers behind %s\n",
+                    opts.supervisor.workers,
+                    f.proxy().addressDescription().c_str());
+    std::fflush(stdout);
+
+    while (!g_signaled && !f.stopping())
+        ::poll(nullptr, 0, 100);
+
+    f.shutdown();
+
+    if (!quiet) {
+        const auto &m = f.proxy().metrics();
+        std::printf(
+            "mgx_fleet: drained; routed %llu, failovers %llu, "
+            "restarts %llu\n",
+            static_cast<unsigned long long>(
+                m.routed.load(std::memory_order_relaxed)),
+            static_cast<unsigned long long>(
+                m.failovers.load(std::memory_order_relaxed)),
+            static_cast<unsigned long long>(
+                f.supervisor().restartCount()));
+    }
+    return 0;
+}

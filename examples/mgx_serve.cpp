@@ -48,6 +48,11 @@ usage(std::FILE *out)
         "                         LRU size cap for the trace cache\n"
         "  --deadline-ms N        wall-clock budget per /run request;\n"
         "                         503 on expiry (default 0 = none)\n"
+        "  --no-keep-alive        one request per connection even when\n"
+        "                         the peer asks for keep-alive\n"
+        "  --keep-alive-idle-ms N close a kept-alive connection after\n"
+        "                         N ms without a next request\n"
+        "                         (default 2000)\n"
         "  --quiet                no startup/shutdown chatter\n"
         "  --help                 this message\n");
     return out == stdout ? 0 : 2;
@@ -92,6 +97,11 @@ main(int argc, char **argv)
                 std::strtoull(value(), nullptr, 10);
         } else if (arg == "--deadline-ms") {
             opts.requestDeadlineMs =
+                static_cast<int>(std::strtol(value(), nullptr, 10));
+        } else if (arg == "--no-keep-alive") {
+            opts.keepAlive = false;
+        } else if (arg == "--keep-alive-idle-ms") {
+            opts.keepAliveIdleMs =
                 static_cast<int>(std::strtol(value(), nullptr, 10));
         } else if (arg == "--quiet" || arg == "-q") {
             quiet = true;

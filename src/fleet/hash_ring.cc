@@ -1,0 +1,99 @@
+#include "hash_ring.h"
+
+namespace mgx::fleet {
+namespace {
+
+/** splitmix64 finisher: spreads FNV's weak low bits over the ring. */
+u64
+mix(u64 x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+u64
+HashRing::hash(const std::string &s)
+{
+    u64 h = 14695981039346656037ull; // FNV-1a
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return mix(h);
+}
+
+HashRing::HashRing(u32 vnodes)
+    : vnodes_(vnodes == 0 ? 1 : vnodes)
+{
+}
+
+void
+HashRing::add(const std::string &node)
+{
+    if (!nodes_.insert(node).second)
+        return;
+    for (u32 i = 0; i < vnodes_; ++i) {
+        u64 point = hash(node + "#" + std::to_string(i));
+        // A collision between two nodes' points is astronomically
+        // unlikely but would silently drop a vnode; probe forward.
+        while (ring_.count(point))
+            ++point;
+        ring_.emplace(point, node);
+    }
+}
+
+void
+HashRing::remove(const std::string &node)
+{
+    if (nodes_.erase(node) == 0)
+        return;
+    for (auto it = ring_.begin(); it != ring_.end();) {
+        if (it->second == node)
+            it = ring_.erase(it);
+        else
+            ++it;
+    }
+}
+
+bool
+HashRing::contains(const std::string &node) const
+{
+    return nodes_.count(node) != 0;
+}
+
+std::string
+HashRing::owner(const std::string &key) const
+{
+    if (ring_.empty())
+        return "";
+    auto it = ring_.lower_bound(hash(key));
+    if (it == ring_.end())
+        it = ring_.begin(); // wrap: the ring is circular
+    return it->second;
+}
+
+std::vector<std::string>
+HashRing::route(const std::string &key) const
+{
+    std::vector<std::string> order;
+    if (ring_.empty())
+        return order;
+    order.reserve(nodes_.size());
+    std::set<std::string> seen;
+    auto it = ring_.lower_bound(hash(key));
+    for (std::size_t steps = 0;
+         steps < ring_.size() && order.size() < nodes_.size();
+         ++steps, ++it) {
+        if (it == ring_.end())
+            it = ring_.begin();
+        if (seen.insert(it->second).second)
+            order.push_back(it->second);
+    }
+    return order;
+}
+
+} // namespace mgx::fleet

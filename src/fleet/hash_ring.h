@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Consistent-hash ring for fleet request routing. Each node is
+ * projected onto the ring at `vnodes` pseudo-random points; a key is
+ * owned by the first node point clockwise from the key's hash. The
+ * property the fleet leans on: adding or removing one node out of N
+ * moves only ~1/N of the keyspace, so worker churn (a crash, a
+ * restart, a scale-up) barely disturbs which worker owns which
+ * cell's singleflight and warm state.
+ *
+ * route() additionally yields the full failover order — every
+ * distinct node in ring order starting at the key — so the proxy can
+ * walk "owner, then next, then next" deterministically when the
+ * owner is down.
+ */
+
+#ifndef MGX_FLEET_HASH_RING_H
+#define MGX_FLEET_HASH_RING_H
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mgx::fleet {
+
+class HashRing
+{
+  public:
+    /** @p vnodes points per node; more = smoother key distribution
+     *  at O(vnodes * log) update cost. 64 is plenty for small N. */
+    explicit HashRing(u32 vnodes = 64);
+
+    void add(const std::string &node);
+    void remove(const std::string &node);
+    bool contains(const std::string &node) const;
+
+    /** Number of distinct nodes. */
+    std::size_t size() const { return nodes_.size(); }
+
+    /** The node owning @p key; "" when the ring is empty. */
+    std::string owner(const std::string &key) const;
+
+    /**
+     * Every distinct node in ring order starting at @p key's
+     * position: route(key)[0] == owner(key), and the rest is the
+     * failover sequence.
+     */
+    std::vector<std::string> route(const std::string &key) const;
+
+    /** Stable hash of @p s (exposed for tests / diagnostics). */
+    static u64 hash(const std::string &s);
+
+  private:
+    u32 vnodes_;
+    std::map<u64, std::string> ring_; ///< point -> node
+    std::set<std::string> nodes_;
+};
+
+} // namespace mgx::fleet
+
+#endif // MGX_FLEET_HASH_RING_H

@@ -67,15 +67,28 @@ connectTo(const SocketAddress &addr, std::string *error)
     return fd;
 }
 
-} // namespace
-
-bool
-httpGet(const SocketAddress &addr, const std::string &target,
-        HttpResponse *out, std::string *error, int timeout_ms)
+void
+setFailure(GetFailure *failure, GetFailure f)
 {
-    const int fd = connectTo(addr, error);
-    if (fd < 0)
-        return false;
+    if (failure)
+        *failure = f;
+}
+
+/**
+ * Issue one GET on an already-connected @p fd and read the response.
+ * @p keep_alive selects the Connection request header. On success
+ * @p reusable_out says whether the socket is still good for another
+ * request (Content-Length-framed response that did not ask to close).
+ * Classifies failures; never parses a truncated body as success.
+ */
+bool
+requestOnFd(int fd, const std::string &target, bool keep_alive,
+            HttpResponse *out, std::string *error, int timeout_ms,
+            GetFailure *failure, bool *reusable_out)
+{
+    setFailure(failure, GetFailure::None);
+    if (reusable_out)
+        *reusable_out = false;
 
     timeval tv{};
     tv.tv_sec = timeout_ms / 1000;
@@ -83,9 +96,9 @@ httpGet(const SocketAddress &addr, const std::string &target,
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
     ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
 
-    const std::string request = "GET " + target +
-                                " HTTP/1.1\r\nHost: mgx\r\n"
-                                "Connection: close\r\n\r\n";
+    const std::string request =
+        "GET " + target + " HTTP/1.1\r\nHost: mgx\r\nConnection: " +
+        (keep_alive ? "keep-alive" : "close") + "\r\n\r\n";
     std::size_t sent = 0;
     std::string send_error;
     while (sent < request.size()) {
@@ -105,40 +118,133 @@ httpGet(const SocketAddress &addr, const std::string &target,
         sent += static_cast<std::size_t>(n);
     }
 
-    std::string raw;
+    HttpResponseParser parser;
     char buf[4096];
-    while (true) {
+    std::string recv_error;
+    bool eof = false;
+    while (parser.status() == HttpResponseParser::Status::Incomplete) {
         const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
         if (n < 0 && errno == EINTR)
             continue;
         if (n < 0) {
-            if (raw.empty()) {
-                if (error)
-                    *error = std::string("recv: ") +
-                             std::strerror(errno);
-                ::close(fd);
-                return false;
-            }
-            break; // got a response before the connection dropped
-        }
-        if (n == 0)
+            recv_error = std::string("recv: ") + std::strerror(errno);
             break;
-        raw.append(buf, static_cast<std::size_t>(n));
+        }
+        if (n == 0) {
+            eof = true;
+            parser.finishEof();
+            break;
+        }
+        parser.feed(buf, static_cast<std::size_t>(n));
     }
-    ::close(fd);
 
-    if (raw.empty() && !send_error.empty()) {
-        if (error)
-            *error = send_error;
+    if (parser.status() == HttpResponseParser::Status::Complete) {
+        const HttpResponse &resp = parser.response();
+        const auto conn = resp.header("connection");
+        if (reusable_out)
+            *reusable_out = !eof && keep_alive &&
+                            resp.header("content-length").has_value() &&
+                            (!conn || *conn != "close");
+        if (out)
+            *out = resp;
+        return true;
+    }
+
+    // Failure: classify by how far we got.
+    std::string why;
+    GetFailure cls;
+    if (parser.status() == HttpResponseParser::Status::Error &&
+        !parser.headersComplete() &&
+        parser.error().rfind("connection closed", 0) != 0) {
+        cls = GetFailure::Parse;
+        why = "parse: " + parser.error();
+    } else if (parser.headersComplete() ||
+               (parser.status() == HttpResponseParser::Status::Error &&
+                parser.error().rfind("connection closed inside", 0) ==
+                    0)) {
+        cls = GetFailure::PartialResponse;
+        why = "partial response: " +
+              (recv_error.empty()
+                   ? (parser.error().empty() ? "connection closed"
+                                             : parser.error())
+                   : recv_error);
+    } else if (!send_error.empty()) {
+        cls = GetFailure::Send;
+        why = send_error;
+    } else {
+        cls = GetFailure::Recv;
+        why = recv_error.empty() ? "recv: connection closed"
+                                 : recv_error;
+    }
+    setFailure(failure, cls);
+    if (error)
+        *error = why;
+    return false;
+}
+
+} // namespace
+
+const char *
+getFailureName(GetFailure f)
+{
+    switch (f) {
+      case GetFailure::None: return "none";
+      case GetFailure::Connect: return "connect";
+      case GetFailure::Send: return "send";
+      case GetFailure::Recv: return "recv";
+      case GetFailure::PartialResponse: return "partialResponse";
+      case GetFailure::Parse: return "parse";
+    }
+    return "unknown";
+}
+
+void
+RetryStats::add(const RetryStats &o)
+{
+    attempts += o.attempts;
+    connectFailures += o.connectFailures;
+    sendFailures += o.sendFailures;
+    recvFailures += o.recvFailures;
+    partialResponses += o.partialResponses;
+    parseFailures += o.parseFailures;
+    backpressure += o.backpressure;
+}
+
+void
+RetryStats::count(GetFailure f)
+{
+    switch (f) {
+      case GetFailure::None: break;
+      case GetFailure::Connect: ++connectFailures; break;
+      case GetFailure::Send: ++sendFailures; break;
+      case GetFailure::Recv: ++recvFailures; break;
+      case GetFailure::PartialResponse: ++partialResponses; break;
+      case GetFailure::Parse: ++parseFailures; break;
+    }
+}
+
+bool
+httpGet(const SocketAddress &addr, const std::string &target,
+        HttpResponse *out, std::string *error, int timeout_ms,
+        GetFailure *failure)
+{
+    setFailure(failure, GetFailure::None);
+    const int fd = connectTo(addr, error);
+    if (fd < 0) {
+        setFailure(failure, GetFailure::Connect);
         return false;
     }
-    return parseHttpResponse(raw, out, error);
+    const bool ok = requestOnFd(fd, target, /*keep_alive=*/false, out,
+                                error, timeout_ms, failure, nullptr);
+    ::close(fd);
+    return ok;
 }
 
 bool
 httpGetRetry(const SocketAddress &addr, const std::string &target,
              HttpResponse *out, std::string *error, int timeout_ms,
-             const RetryOptions &opts, int *attempts_out)
+             const RetryOptions &opts, int *attempts_out,
+             RetryStats *stats)
 {
     // Full-jitter backoff off a tiny LCG: good enough to decorrelate
     // a stampede of clients, deterministic under a caller-given seed.
@@ -166,18 +272,87 @@ httpGetRetry(const SocketAddress &addr, const std::string &target,
             std::this_thread::sleep_for(
                 std::chrono::milliseconds(delay));
         }
-        ok = httpGet(addr, target, out, error, timeout_ms);
+        GetFailure f = GetFailure::None;
+        ok = httpGet(addr, target, out, error, timeout_ms, &f);
+        if (stats)
+            ++stats->attempts;
         if (attempts_out)
             *attempts_out = attempt + 1;
-        if (!ok)
-            continue; // transport failure: retry
-        if (out->status == 429 || out->status == 503)
+        if (!ok) {
+            if (stats)
+                stats->count(f);
+            continue; // transport failure (incl. partial): retry
+        }
+        if (out->status == 429 || out->status == 503) {
+            if (stats && attempt + 1 < attempts)
+                ++stats->backpressure;
             continue; // explicit back-pressure: retry
+        }
         return true;  // definite answer (2xx, 4xx, 5xx other)
     }
     // Exhausted. A parsed 429/503 still counts as "the server
     // answered" — hand it back so the caller can report the status.
     return ok;
+}
+
+void
+ClientConnection::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+bool
+ClientConnection::getOnce(const std::string &target, HttpResponse *out,
+                          std::string *error, int timeout_ms,
+                          GetFailure *failure, bool *reused_attempt)
+{
+    const bool reused = fd_ >= 0;
+    if (reused_attempt)
+        *reused_attempt = reused;
+    if (!reused) {
+        fd_ = connectTo(addr_, error);
+        if (fd_ < 0) {
+            setFailure(failure, GetFailure::Connect);
+            return false;
+        }
+    }
+    bool reusable = false;
+    const bool ok = requestOnFd(fd_, target, /*keep_alive=*/true, out,
+                                error, timeout_ms, failure, &reusable);
+    if (!ok || !reusable)
+        close();
+    if (ok)
+        last_reused_ = reused;
+    return ok;
+}
+
+bool
+ClientConnection::get(const std::string &target, HttpResponse *out,
+                      std::string *error, int timeout_ms,
+                      GetFailure *failure)
+{
+    setFailure(failure, GetFailure::None);
+    bool reused = false;
+    GetFailure f = GetFailure::None;
+    std::string err;
+    if (getOnce(target, out, &err, timeout_ms, &f, &reused))
+        return true;
+    // The reuse race: the server closed the idle socket just as we
+    // wrote into it. Our request never ran — retry once on a fresh
+    // connect. A failure on a *fresh* socket is reported as-is.
+    if (reused && f != GetFailure::Parse) {
+        err.clear();
+        f = GetFailure::None;
+        if (getOnce(target, out, &err, timeout_ms, &f, &reused))
+            return true;
+    }
+    setFailure(failure, f);
+    if (error)
+        *error = err;
+    return false;
 }
 
 } // namespace mgx::serve

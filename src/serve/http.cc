@@ -95,6 +95,16 @@ HttpRequest::header(const std::string &name) const
     return std::nullopt;
 }
 
+std::optional<std::string>
+HttpResponse::header(const std::string &name) const
+{
+    const std::string key = toLower(name);
+    for (const auto &kv : headers)
+        if (kv.first == key)
+            return kv.second;
+    return std::nullopt;
+}
+
 HttpRequestParser::Status
 HttpRequestParser::fail(const std::string &message)
 {
@@ -190,6 +200,7 @@ HttpRequestParser::parseBuffered()
     if (buffer_.size() - body_start < content_length)
         return status_; // body still in flight
     req.body = buffer_.substr(body_start, content_length);
+    consumed_ = body_start + content_length;
 
     const std::size_t qpos = req.target.find('?');
     req.path = percentDecode(req.target.substr(0, qpos));
@@ -269,6 +280,93 @@ parseHttpResponse(const std::string &raw, HttpResponse *out,
     return true;
 }
 
+HttpResponseParser::Status
+HttpResponseParser::fail(const std::string &message)
+{
+    error_ = message;
+    status_ = Status::Error;
+    return status_;
+}
+
+std::size_t
+HttpResponseParser::bodyBytes() const
+{
+    if (!headers_done_ || buffer_.size() < body_start_)
+        return 0;
+    return buffer_.size() - body_start_;
+}
+
+HttpResponseParser::Status
+HttpResponseParser::feed(const char *data, std::size_t n)
+{
+    if (status_ != Status::Incomplete)
+        return status_;
+    buffer_.append(data, n);
+    return parseBuffered();
+}
+
+HttpResponseParser::Status
+HttpResponseParser::finishEof()
+{
+    if (status_ != Status::Incomplete)
+        return status_;
+    if (!headers_done_)
+        return fail(buffer_.empty()
+                        ? "connection closed before any response"
+                        : "connection closed inside response headers");
+    if (has_length_)
+        return fail("connection closed mid-response (" +
+                    std::to_string(bodyBytes()) + " of " +
+                    std::to_string(content_length_) + " body bytes)");
+    // Length-less body: EOF is the terminator.
+    response_.body = buffer_.substr(body_start_);
+    status_ = Status::Complete;
+    return status_;
+}
+
+HttpResponseParser::Status
+HttpResponseParser::parseBuffered()
+{
+    if (!headers_done_) {
+        std::size_t header_end = buffer_.find("\r\n\r\n");
+        if (header_end != std::string::npos) {
+            body_start_ = header_end + 4;
+        } else {
+            header_end = buffer_.find("\n\n");
+            if (header_end == std::string::npos)
+                return status_;
+            body_start_ = header_end + 2;
+        }
+        HttpResponse resp;
+        std::string error;
+        // The header block is complete: the batch parser's header
+        // logic applies verbatim (body handled incrementally below).
+        if (!parseHttpResponse(buffer_.substr(0, body_start_), &resp,
+                               &error))
+            return fail(error);
+        resp.body.clear();
+        for (const auto &h : resp.headers) {
+            if (h.first != "content-length")
+                continue;
+            char *end = nullptr;
+            content_length_ =
+                std::strtoull(h.second.c_str(), &end, 10);
+            if (end == h.second.c_str() || *end != '\0')
+                return fail("malformed Content-Length");
+            has_length_ = true;
+        }
+        response_ = std::move(resp);
+        headers_done_ = true;
+    }
+    if (!has_length_)
+        return status_; // only finishEof() can complete this one
+    if (buffer_.size() - body_start_ < content_length_)
+        return status_;
+    response_.body = buffer_.substr(body_start_, content_length_);
+    status_ = Status::Complete;
+    return status_;
+}
+
 const char *
 httpReason(int status)
 {
@@ -288,7 +386,8 @@ httpReason(int status)
 std::string
 httpResponse(int status, const std::string &content_type,
              const std::string &body,
-             const std::vector<std::string> &extra_headers)
+             const std::vector<std::string> &extra_headers,
+             bool keep_alive)
 {
     std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
                       httpReason(status) + "\r\n";
@@ -296,7 +395,8 @@ httpResponse(int status, const std::string &content_type,
     out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
     for (const auto &h : extra_headers)
         out += h + "\r\n";
-    out += "Connection: close\r\n\r\n";
+    out += keep_alive ? "Connection: keep-alive\r\n\r\n"
+                      : "Connection: close\r\n\r\n";
     out += body;
     return out;
 }

@@ -24,6 +24,8 @@ ServeMetrics::snapshot() const
     s.deadlineExceeded =
         deadlineExceeded.load(std::memory_order_relaxed);
     s.oversized = oversized.load(std::memory_order_relaxed);
+    s.keepAliveReused =
+        keepAliveReused.load(std::memory_order_relaxed);
     s.cacheDegraded = cacheDegraded.load(std::memory_order_relaxed);
     s.draining = draining.load(std::memory_order_relaxed);
     return s;
@@ -48,6 +50,7 @@ statsJson(const ServeMetrics::Snapshot &s)
         << ",\n  \"maxQueueDepth\": " << s.maxQueueDepth
         << ",\n  \"deadlineExceeded\": " << s.deadlineExceeded
         << ",\n  \"oversized\": " << s.oversized
+        << ",\n  \"keepAliveReused\": " << s.keepAliveReused
         << ",\n  \"cacheDegraded\": "
         << (s.cacheDegraded ? "true" : "false")
         << ",\n  \"draining\": " << (s.draining ? "true" : "false")

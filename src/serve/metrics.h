@@ -36,6 +36,7 @@ class ServeMetrics
         u64 maxQueueDepth = 0;  ///< high-water mark of queueDepth
         u64 deadlineExceeded = 0; ///< 503s: request deadline expired
         u64 oversized = 0;      ///< 431s: request exceeded the 1 MiB cap
+        u64 keepAliveReused = 0; ///< requests served on a reused connection
         bool cacheDegraded = false; ///< trace cache bypassed (see Server)
         bool draining = false;  ///< shutdown requested
     };
@@ -54,6 +55,7 @@ class ServeMetrics
     std::atomic<u64> maxQueueDepth{0};
     std::atomic<u64> deadlineExceeded{0};
     std::atomic<u64> oversized{0};
+    std::atomic<u64> keepAliveReused{0};
     std::atomic<bool> cacheDegraded{false};
     std::atomic<bool> draining{false};
 

@@ -1,6 +1,7 @@
 #include "server.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cerrno>
 #include <cstring>
 
@@ -331,51 +332,133 @@ Server::workerLoop()
 void
 Server::handleConnection(int fd)
 {
+    std::string carry;
+    bool first = true;
+    while (serveOneRequest(fd, &carry, first))
+        first = false;
+    ::close(fd);
+}
+
+bool
+Server::serveOneRequest(int fd, std::string *carry, bool first)
+{
     HttpRequestParser parser;
+    if (!carry->empty()) {
+        parser.feed(carry->data(), carry->size());
+        carry->clear();
+    }
+
+    // A reused connection with nothing buffered is idle: wait for the
+    // next request up to the keep-alive idle cutoff, in short poll
+    // slices so a drain — or a backlog of connections waiting for a
+    // worker — reclaims this thread quickly instead of letting one
+    // quiet peer park it.
+    if (!first &&
+        parser.status() == HttpRequestParser::Status::Incomplete &&
+        parser.bytesFed() == 0) {
+        int waited = 0;
+        bool readable = false;
+        while (waited < opts_.keepAliveIdleMs) {
+            {
+                std::lock_guard<std::mutex> lock(qmu_);
+                if (draining_ || !pending_.empty())
+                    return false;
+            }
+            const int slice =
+                std::min(50, opts_.keepAliveIdleMs - waited);
+            pollfd pfd{fd, POLLIN, 0};
+            const int r = ::poll(&pfd, 1, slice);
+            if (r > 0) {
+                readable = true;
+                break;
+            }
+            if (r < 0 && errno != EINTR)
+                return false;
+            waited += slice;
+        }
+        if (!readable)
+            return false; // idle cutoff: close to bound open FDs
+    }
+
+    bool injected_recv_fail = false;
+    bool peer_eof = false;
     char buf[4096];
     while (parser.status() == HttpRequestParser::Status::Incomplete) {
-        if (fpRecvFail.fire())
+        if (fpRecvFail.fire()) {
+            injected_recv_fail = true;
             break; // simulated mid-request connection loss
+        }
         const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
         if (n < 0 && errno == EINTR)
             continue;
+        if (n == 0)
+            peer_eof = true;
         if (n <= 0)
             break; // peer closed, timed out, or errored
         parser.feed(buf, static_cast<std::size_t>(n));
     }
 
-    std::string response;
     if (parser.status() != HttpRequestParser::Status::Complete) {
+        // A peer that closed (real EOF) without sending anything is a
+        // clean close — the normal end of a kept-alive connection —
+        // not a malformed request. A peer that went silent until the
+        // receive timeout still gets the 400 below.
+        if (peer_eof && parser.bytesFed() == 0 && !injected_recv_fail)
+            return false;
         metrics_.badRequests.fetch_add(1, std::memory_order_relaxed);
         if (parser.tooLarge())
             metrics_.oversized.fetch_add(1, std::memory_order_relaxed);
         // An oversized request gets a clean 431 instead of a generic
         // 400: the peer is told exactly why it was refused, and the
         // daemon sheds the connection without reading the rest.
-        response = httpResponse(
-            parser.tooLarge() ? 431 : 400, "application/json",
-            jsonError(parser.error().empty() ? "incomplete request"
-                                             : parser.error()));
-    } else {
-        int status = 500;
-        std::string body;
-        try {
-            body = handleRequest(parser.request(), &status);
-        } catch (const std::exception &e) {
-            status = 500;
-            body = jsonError(e.what());
-        }
-        if (status < 400)
-            metrics_.served.fetch_add(1, std::memory_order_relaxed);
-        else if (status >= 500)
-            metrics_.failed.fetch_add(1, std::memory_order_relaxed);
-        else
-            metrics_.badRequests.fetch_add(1,
-                                           std::memory_order_relaxed);
-        response = httpResponse(status, "application/json", body);
+        sendAll(fd, httpResponse(
+                        parser.tooLarge() ? 431 : 400,
+                        "application/json",
+                        jsonError(parser.error().empty()
+                                      ? "incomplete request"
+                                      : parser.error())));
+        return false;
     }
-    sendAll(fd, response);
-    ::close(fd);
+
+    if (!first)
+        metrics_.keepAliveReused.fetch_add(1,
+                                           std::memory_order_relaxed);
+
+    int status = 500;
+    std::string body;
+    try {
+        body = handleRequest(parser.request(), &status);
+    } catch (const std::exception &e) {
+        status = 500;
+        body = jsonError(e.what());
+    }
+    if (status < 400)
+        metrics_.served.fetch_add(1, std::memory_order_relaxed);
+    else if (status >= 500)
+        metrics_.failed.fetch_add(1, std::memory_order_relaxed);
+    else
+        metrics_.badRequests.fetch_add(1, std::memory_order_relaxed);
+
+    // Keep the connection only when the peer explicitly asked to —
+    // legacy clients send `Connection: close` (or nothing) and get
+    // the old one-request-per-connection behavior unchanged.
+    bool keep = false;
+    if (opts_.keepAlive && !stopping()) {
+        if (auto conn = parser.request().header("connection")) {
+            std::string v = *conn;
+            std::transform(v.begin(), v.end(), v.begin(),
+                           [](unsigned char c) {
+                               return static_cast<char>(
+                                   std::tolower(c));
+                           });
+            keep = v == "keep-alive";
+        }
+    }
+    sendAll(fd, httpResponse(status, "application/json", body, {},
+                             keep));
+    if (keep)
+        *carry = parser.surplus();
+    return keep;
 }
 
 std::string

@@ -7,7 +7,9 @@
  * writes — byte-identical for the same grid, so clients can switch
  * between the CLI and the service without re-baselining artifacts.
  *
- * Endpoints (HTTP/1.1, one request per connection, Connection: close):
+ * Endpoints (HTTP/1.1; one request per connection by default, but a
+ * request carrying `Connection: keep-alive` keeps the connection open
+ * for the next one, bounded by ServerOptions::keepAliveIdleMs):
  *
  *   GET /run?workload=W[&workload=W2...][&platforms=cloud,edge]
  *           [&schemes=NP,MGX,...]
@@ -88,6 +90,14 @@ struct ServerOptions
     /// How long to bypass the trace cache after a run reports it
     /// degraded before probing it again (see cacheDegraded()).
     int cacheRetryMs = 5000;
+    /// Honor `Connection: keep-alive` requests by keeping the
+    /// connection open for the next request (false restores the old
+    /// one-request-per-connection behavior for every peer).
+    bool keepAlive = true;
+    /// Close a kept-alive connection after this long with no next
+    /// request — bounds both idle FDs and how long a worker thread
+    /// can be parked on one peer.
+    int keepAliveIdleMs = 2000;
 };
 
 /** One grid cell: the unit of deduplication. */
@@ -161,6 +171,13 @@ class Server
     void acceptLoop();
     void workerLoop();
     void handleConnection(int fd);
+    /// Serve one request off @p fd (seeded with @p carry bytes from
+    /// the previous request on this connection). Returns false when
+    /// the connection is done (peer closed, error, or the exchange
+    /// chose Connection: close); true means keep it open and @p carry
+    /// holds any bytes of the next request that already arrived.
+    /// @p first distinguishes a fresh connection from a reused one.
+    bool serveOneRequest(int fd, std::string *carry, bool first);
     std::string handleRequest(const HttpRequest &req, int *status_out);
     std::string handleRun(const HttpRequest &req, int *status_out);
     CellOutcome runCellWithEngine(const CellKey &cell);

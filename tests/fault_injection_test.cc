@@ -28,6 +28,9 @@
 
 #include "common/checksum.h"
 #include "common/failpoint.h"
+#include "fleet/backend.h"
+#include "fleet/proxy.h"
+#include "fleet/supervisor.h"
 #include "serve/client.h"
 #include "serve/server.h"
 #include "sim/experiment.h"
@@ -713,8 +716,102 @@ TEST(FailpointCoverage, EveryRegisteredFailpointFires)
         server.shutdown();
     }
 
+    // Fleet proxy boundaries: an injected backend connect failure and
+    // an injected mid-response reset both fail over (here: to a
+    // second attempt at the same single backend) without the client
+    // seeing anything but the full, correct body.
+    {
+        serve::ServerOptions bopts;
+        bopts.listen.unixPath = testSocketPath("fleetback");
+        serve::Server backend(bopts);
+        backend.setCellRunnerForTest(syntheticOutcome);
+        backend.start();
+
+        fleet::StaticDirectory dir;
+        dir.add("w0", serve::SocketAddress{bopts.listen.unixPath,
+                                           "127.0.0.1", 0});
+        fleet::ProxyOptions popts;
+        popts.listen.unixPath = testSocketPath("fleetproxy");
+        popts.failoverPauseMs = 10;
+        fleet::Proxy proxy(popts, &dir);
+        proxy.start();
+        const serve::SocketAddress paddr{popts.listen.unixPath,
+                                         "127.0.0.1", 0};
+        const std::string target =
+            "/run?workload=" + serve::percentEncode(kWorkload) +
+            "&schemes=NP";
+
+        serve::HttpResponse resp;
+        std::string error;
+        ASSERT_TRUE(serve::httpGet(paddr, target, &resp, &error))
+            << error;
+        ASSERT_EQ(resp.status, 200);
+        const std::string reference = resp.body;
+
+        ASSERT_TRUE(
+            failpoint::armSpecList("fleet.backend.connect=once"));
+        ASSERT_TRUE(serve::httpGet(paddr, target, &resp, &error))
+            << error;
+        EXPECT_EQ(resp.status, 200);
+        EXPECT_EQ(resp.body, reference);
+        failpoint::disarmAll();
+
+        ASSERT_TRUE(
+            failpoint::armSpecList("fleet.backend.reset=once"));
+        ASSERT_TRUE(serve::httpGet(paddr, target, &resp, &error))
+            << error;
+        EXPECT_EQ(resp.status, 200);
+        EXPECT_EQ(resp.body, reference);
+        failpoint::disarmAll();
+
+        EXPECT_GE(proxy.metrics().failovers.load(), 2u);
+        proxy.shutdown();
+        backend.shutdown();
+    }
+
+    // Supervisor boundaries: an injected fork failure (retried with
+    // backoff) and an injected probe timeout. The spawned "worker" is
+    // /bin/sleep — it never answers probes, which is fine: the
+    // failpoint just has to be evaluated on a live pid.
+    {
+        TempDir socks("fleetsup");
+        fleet::SupervisorOptions sopts;
+        sopts.workers = 1;
+        sopts.socketDir = socks.str();
+        sopts.probeIntervalMs = 20;
+        sopts.probeTimeoutMs = 100;
+        sopts.restartBackoffMs = 10;
+        fleet::Supervisor sup(sopts);
+        sup.setSpawnFnForTest([](int, const std::string &) -> pid_t {
+            const pid_t pid = ::fork();
+            if (pid == 0) {
+                ::execl("/bin/sleep", "sleep", "30",
+                        static_cast<char *>(nullptr));
+                ::_exit(127);
+            }
+            return pid;
+        });
+        ASSERT_TRUE(failpoint::armSpecList(
+            "fleet.fork.fail=once,fleet.probe.timeout=once"));
+        sup.start();
+        const auto fired = [](const char *name) {
+            for (const auto &info : failpoint::all())
+                if (info.name == name)
+                    return info.hits >= 1;
+            return false;
+        };
+        EXPECT_TRUE(eventually(
+            [&] { return fired("fleet.fork.fail"); }, 5000));
+        EXPECT_TRUE(eventually(
+            [&] { return fired("fleet.probe.timeout"); }, 5000));
+        failpoint::disarmAll();
+        sup.shutdown();
+    }
+
     // The audit: every production failpoint in the binary has fired.
     const char *const expected[] = {
+        "fleet.backend.connect", "fleet.backend.reset",
+        "fleet.fork.fail",       "fleet.probe.timeout",
         "serve.accept.fail",     "serve.recv.fail",
         "serve.send.fail",       "trace_io.lock.eintr",
         "trace_io.lock.open",    "trace_io.read.corrupt",

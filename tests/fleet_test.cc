@@ -1,0 +1,617 @@
+/**
+ * @file
+ * Fleet-layer tests: consistent-hash ring stability under node churn
+ * (only the removed node's keys move), routing-key normalization,
+ * proxy routing / failover order / stats aggregation against
+ * in-process serve::Servers, supervisor flap breaking with an
+ * injected spawner, and one end-to-end integration test that forks
+ * real mgx_serve workers, SIGKILLs the owner of an in-flight cell
+ * under sustained load, and requires every answered body to stay
+ * byte-identical to the Experiment API reference (what
+ * `mgx_run --no-pipeline --json` prints).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "fleet/backend.h"
+#include "fleet/fleet.h"
+#include "fleet/hash_ring.h"
+#include "fleet/proxy.h"
+#include "fleet/supervisor.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "sim/report.h"
+
+namespace mgx::fleet {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string
+testSocketPath(const std::string &tag)
+{
+    return "/tmp/mgx-fleet-test-" + std::to_string(::getpid()) + "-" +
+           tag + ".sock";
+}
+
+struct TempDir
+{
+    explicit TempDir(const char *tag)
+        : path(fs::temp_directory_path() /
+               ("mgx-fleet-test-" + std::to_string(::getpid()) + "-" +
+                tag))
+    {
+        fs::create_directories(path);
+    }
+    ~TempDir() { fs::remove_all(path); }
+    fs::path path;
+};
+
+template <typename Pred>
+bool
+eventually(Pred pred, int timeout_ms = 10000)
+{
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    while (!pred()) {
+        if (std::chrono::steady_clock::now() > deadline)
+            return false;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return true;
+}
+
+serve::CellOutcome
+syntheticOutcome(const serve::CellKey &cell)
+{
+    serve::CellOutcome out;
+    out.record.key = {cell.workload, cell.platform.name, cell.scheme};
+    out.record.result.totalCycles = 1000;
+    return out;
+}
+
+serve::HttpRequest
+parseRequest(const std::string &raw)
+{
+    serve::HttpRequestParser p;
+    EXPECT_EQ(p.feed(raw.data(), raw.size()),
+              serve::HttpRequestParser::Status::Complete)
+        << raw;
+    return p.request();
+}
+
+// ---------------------------------------------------------------------
+// Hash ring
+// ---------------------------------------------------------------------
+
+TEST(HashRing, SingleNodeOwnsEverything)
+{
+    HashRing ring;
+    EXPECT_EQ(ring.owner("anything"), "");
+    EXPECT_TRUE(ring.route("anything").empty());
+
+    ring.add("w0");
+    EXPECT_EQ(ring.size(), 1u);
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(ring.owner("key" + std::to_string(i)), "w0");
+}
+
+TEST(HashRing, OnlyTheRemovedNodesKeysMove)
+{
+    constexpr int kNodes = 5;
+    constexpr int kKeys = 2000;
+    HashRing ring;
+    for (int n = 0; n < kNodes; ++n)
+        ring.add("w" + std::to_string(n));
+
+    std::map<std::string, std::string> before;
+    for (int i = 0; i < kKeys; ++i) {
+        const std::string key = "cell/" + std::to_string(i);
+        before[key] = ring.owner(key);
+    }
+
+    ring.remove("w2");
+    EXPECT_FALSE(ring.contains("w2"));
+    int moved = 0;
+    for (const auto &[key, owner] : before) {
+        const std::string now = ring.owner(key);
+        if (owner == "w2") {
+            // Orphaned keys must land somewhere else...
+            EXPECT_NE(now, "w2");
+            ++moved;
+        } else {
+            // ...and every other key must not notice the churn.
+            EXPECT_EQ(now, owner) << key;
+        }
+    }
+    // ~K/N of the keyspace belonged to the removed node. Wide
+    // tolerance: vnode placement is hashed, not perfectly even.
+    EXPECT_GT(moved, kKeys / (kNodes * 4));
+    EXPECT_LT(moved, kKeys / 2);
+
+    // Re-adding the node restores the original assignment exactly.
+    ring.add("w2");
+    for (const auto &[key, owner] : before)
+        EXPECT_EQ(ring.owner(key), owner) << key;
+}
+
+TEST(HashRing, RouteIsTheDistinctFailoverOrder)
+{
+    HashRing ring;
+    for (int n = 0; n < 4; ++n)
+        ring.add("w" + std::to_string(n));
+
+    for (int i = 0; i < 64; ++i) {
+        const std::string key = "cell/" + std::to_string(i);
+        const std::vector<std::string> order = ring.route(key);
+        ASSERT_EQ(order.size(), 4u) << key;
+        EXPECT_EQ(order[0], ring.owner(key)) << key;
+        const std::set<std::string> distinct(order.begin(),
+                                             order.end());
+        EXPECT_EQ(distinct.size(), 4u) << key;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Routing key
+// ---------------------------------------------------------------------
+
+TEST(RoutingKey, WorkloadOrderDoesNotChangeTheKey)
+{
+    const auto a = parseRequest(
+        "GET /run?workload=core%2Fmatmul&workload=dnn%2Flenet"
+        "&schemes=NP,BP HTTP/1.1\r\n\r\n");
+    const auto b = parseRequest(
+        "GET /run?workload=dnn%2Flenet&workload=core%2Fmatmul"
+        "&schemes=NP,BP HTTP/1.1\r\n\r\n");
+    EXPECT_EQ(Proxy::routingKey(a), Proxy::routingKey(b));
+}
+
+TEST(RoutingKey, EachCellAxisParticipates)
+{
+    const auto base = parseRequest(
+        "GET /run?workload=core%2Fmatmul&schemes=NP HTTP/1.1\r\n\r\n");
+    const auto schemes = parseRequest(
+        "GET /run?workload=core%2Fmatmul&schemes=BP HTTP/1.1\r\n\r\n");
+    const auto platforms = parseRequest(
+        "GET /run?workload=core%2Fmatmul&schemes=NP&platforms=base"
+        " HTTP/1.1\r\n\r\n");
+    EXPECT_NE(Proxy::routingKey(base), Proxy::routingKey(schemes));
+    EXPECT_NE(Proxy::routingKey(base), Proxy::routingKey(platforms));
+}
+
+// ---------------------------------------------------------------------
+// Proxy against in-process backends
+// ---------------------------------------------------------------------
+
+/** N in-process serve::Servers named w0..wN-1 behind a
+ *  StaticDirectory, each counting how many cells it ran. */
+struct MiniFleet
+{
+    explicit MiniFleet(int n, const std::string &tag)
+    {
+        for (int i = 0; i < n; ++i)
+            runs.emplace_back(
+                std::make_unique<std::atomic<u64>>(0));
+        for (int i = 0; i < n; ++i) {
+            serve::ServerOptions opts;
+            opts.listen.unixPath =
+                testSocketPath(tag + "-w" + std::to_string(i));
+            servers.emplace_back(
+                std::make_unique<serve::Server>(opts));
+            auto *counter = runs[static_cast<std::size_t>(i)].get();
+            servers.back()->setCellRunnerForTest(
+                [counter](const serve::CellKey &cell) {
+                    counter->fetch_add(1);
+                    return syntheticOutcome(cell);
+                });
+            servers.back()->start();
+            dir.add("w" + std::to_string(i),
+                    {opts.listen.unixPath, "127.0.0.1", 0});
+        }
+    }
+
+    ~MiniFleet()
+    {
+        for (auto &s : servers)
+            s->shutdown();
+    }
+
+    std::vector<std::unique_ptr<serve::Server>> servers;
+    std::vector<std::unique_ptr<std::atomic<u64>>> runs;
+    StaticDirectory dir;
+};
+
+const char *const kTarget = "/run?workload=core%2Fmatmul&schemes=NP";
+
+/** Index of the worker owning kTarget under the proxy's ring. */
+std::size_t
+ownerIndex(int n, u32 vnodes = 64)
+{
+    HashRing ring(vnodes);
+    for (int i = 0; i < n; ++i)
+        ring.add("w" + std::to_string(i));
+    const auto req =
+        parseRequest(std::string("GET ") + kTarget + " HTTP/1.1\r\n\r\n");
+    const std::string owner = ring.owner(Proxy::routingKey(req));
+    return static_cast<std::size_t>(owner[1] - '0');
+}
+
+TEST(ProxyTest, RoutesRepeatedKeysToTheOwner)
+{
+    MiniFleet mini(3, "route");
+    ProxyOptions popts;
+    popts.listen.unixPath = testSocketPath("route-proxy");
+    Proxy proxy(popts, &mini.dir);
+    proxy.start();
+    const serve::SocketAddress addr{popts.listen.unixPath,
+                                    "127.0.0.1", 0};
+
+    for (int i = 0; i < 5; ++i) {
+        serve::HttpResponse resp;
+        std::string error;
+        ASSERT_TRUE(serve::httpGet(addr, kTarget, &resp, &error))
+            << error;
+        ASSERT_EQ(resp.status, 200) << resp.body;
+        EXPECT_NE(resp.body.find("mgx-resultset-v1"),
+                  std::string::npos);
+    }
+
+    // Every request landed on the ring owner; nobody else ran cells.
+    const std::size_t owner = ownerIndex(3);
+    for (std::size_t i = 0; i < mini.runs.size(); ++i) {
+        if (i == owner)
+            EXPECT_GT(mini.runs[i]->load(), 0u);
+        else
+            EXPECT_EQ(mini.runs[i]->load(), 0u) << "w" << i;
+    }
+    EXPECT_EQ(proxy.metrics().routed.load(), 5u);
+    EXPECT_EQ(proxy.metrics().failovers.load(), 0u);
+    proxy.shutdown();
+}
+
+TEST(ProxyTest, FailsOverToTheNextRingNodeWhenTheOwnerIsDead)
+{
+    MiniFleet mini(3, "failover");
+    const std::size_t owner = ownerIndex(3);
+    mini.servers[owner]->shutdown(); // connect refused from now on
+
+    ProxyOptions popts;
+    popts.listen.unixPath = testSocketPath("failover-proxy");
+    popts.failoverPauseMs = 10;
+    Proxy proxy(popts, &mini.dir);
+    proxy.start();
+    const serve::SocketAddress addr{popts.listen.unixPath,
+                                    "127.0.0.1", 0};
+
+    serve::HttpResponse resp;
+    std::string error;
+    ASSERT_TRUE(serve::httpGet(addr, kTarget, &resp, &error)) << error;
+    ASSERT_EQ(resp.status, 200) << resp.body;
+
+    // The next distinct node in ring order picked the request up —
+    // not an arbitrary survivor.
+    HashRing ring(popts.ringVnodes);
+    for (int i = 0; i < 3; ++i)
+        ring.add("w" + std::to_string(i));
+    const auto req = parseRequest(std::string("GET ") + kTarget +
+                                  " HTTP/1.1\r\n\r\n");
+    const auto order = ring.route(Proxy::routingKey(req));
+    const std::size_t second =
+        static_cast<std::size_t>(order[1][1] - '0');
+    EXPECT_EQ(mini.runs[owner]->load(), 0u);
+    EXPECT_GT(mini.runs[second]->load(), 0u);
+    EXPECT_GE(proxy.metrics().failovers.load(), 1u);
+    EXPECT_GE(proxy.metrics().backendErrors.load(), 1u);
+    proxy.shutdown();
+}
+
+TEST(ProxyTest, OutOfRotationOwnerIsSkippedWithoutAFailover)
+{
+    MiniFleet mini(3, "rotation");
+    const std::size_t owner = ownerIndex(3);
+    mini.dir.setInRotation("w" + std::to_string(owner), false);
+
+    ProxyOptions popts;
+    popts.listen.unixPath = testSocketPath("rotation-proxy");
+    Proxy proxy(popts, &mini.dir);
+    proxy.start();
+    const serve::SocketAddress addr{popts.listen.unixPath,
+                                    "127.0.0.1", 0};
+
+    serve::HttpResponse resp;
+    std::string error;
+    ASSERT_TRUE(serve::httpGet(addr, kTarget, &resp, &error)) << error;
+    ASSERT_EQ(resp.status, 200) << resp.body;
+
+    // The owner was demoted to last resort, so the first attempt went
+    // to an in-rotation worker and succeeded: no failover happened
+    // and the demoted owner never ran a cell.
+    EXPECT_EQ(mini.runs[owner]->load(), 0u);
+    EXPECT_EQ(proxy.metrics().failovers.load(), 0u);
+    proxy.shutdown();
+}
+
+TEST(ProxyTest, StatsAggregateProxyCountersAndWorkerDocuments)
+{
+    MiniFleet mini(2, "stats");
+    ProxyOptions popts;
+    popts.listen.unixPath = testSocketPath("stats-proxy");
+    Proxy proxy(popts, &mini.dir);
+    proxy.start();
+    const serve::SocketAddress addr{popts.listen.unixPath,
+                                    "127.0.0.1", 0};
+
+    serve::HttpResponse run, stats, health;
+    std::string error;
+    ASSERT_TRUE(serve::httpGet(addr, kTarget, &run, &error)) << error;
+    ASSERT_EQ(run.status, 200);
+    ASSERT_TRUE(serve::httpGet(addr, "/stats", &stats, &error))
+        << error;
+    ASSERT_EQ(stats.status, 200);
+
+    // The fleet document embeds supervision state and each worker's
+    // own live /stats body.
+    EXPECT_NE(stats.body.find("\"schema\": \"mgx-fleetstats-v1\""),
+              std::string::npos);
+    EXPECT_NE(stats.body.find("\"routed\": 1"), std::string::npos);
+    EXPECT_NE(stats.body.find("\"workers\""), std::string::npos);
+    EXPECT_NE(stats.body.find("\"w0\""), std::string::npos);
+    EXPECT_NE(stats.body.find("\"w1\""), std::string::npos);
+    EXPECT_NE(stats.body.find("\"workerStats\""), std::string::npos);
+    EXPECT_NE(stats.body.find("mgx-servestats-v1"),
+              std::string::npos);
+
+    ASSERT_TRUE(serve::httpGet(addr, "/healthz", &health, &error))
+        << error;
+    EXPECT_EQ(health.status, 200);
+    EXPECT_NE(health.body.find("\"ok\": true"), std::string::npos);
+    EXPECT_NE(health.body.find("\"workers\": 2"), std::string::npos);
+
+    mini.dir.setInRotation("w0", false);
+    mini.dir.setInRotation("w1", false);
+    ASSERT_TRUE(serve::httpGet(addr, "/healthz", &health, &error))
+        << error;
+    EXPECT_NE(health.body.find("\"ok\": false"), std::string::npos);
+    proxy.shutdown();
+}
+
+TEST(ProxyTest, KeepAliveClientsReuseTheFrontDoorConnection)
+{
+    MiniFleet mini(1, "keepalive");
+    ProxyOptions popts;
+    popts.listen.unixPath = testSocketPath("keepalive-proxy");
+    Proxy proxy(popts, &mini.dir);
+    proxy.start();
+    const serve::SocketAddress addr{popts.listen.unixPath,
+                                    "127.0.0.1", 0};
+
+    serve::ClientConnection conn(addr);
+    serve::HttpResponse resp;
+    std::string error;
+    ASSERT_TRUE(conn.get("/healthz", &resp, &error)) << error;
+    EXPECT_FALSE(conn.lastReused());
+    ASSERT_TRUE(conn.get("/healthz", &resp, &error)) << error;
+    EXPECT_TRUE(conn.lastReused());
+    EXPECT_GE(proxy.metrics().keepAliveReused.load(), 1u);
+    proxy.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Supervisor (injected spawner; no real mgx_serve needed)
+// ---------------------------------------------------------------------
+
+/** Fork a child that just sleeps; async-signal-safe child path. */
+pid_t
+spawnSleeper(int, const std::string &)
+{
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+        ::execl("/bin/sleep", "sleep", "30",
+                static_cast<char *>(nullptr));
+        ::_exit(127);
+    }
+    return pid;
+}
+
+/** Fork a child that dies instantly — a crash-looping worker. */
+pid_t
+spawnCrasher(int, const std::string &)
+{
+    const pid_t pid = ::fork();
+    if (pid == 0)
+        ::_exit(1);
+    return pid;
+}
+
+TEST(SupervisorTest, RestartsAKilledWorkerWithANewPid)
+{
+    TempDir socks("restart");
+    SupervisorOptions opts;
+    opts.workers = 1;
+    opts.socketDir = socks.path.string();
+    opts.probeIntervalMs = 1000000; // probes irrelevant here
+    opts.restartBackoffMs = 10;
+    Supervisor sup(opts);
+    sup.setSpawnFnForTest(spawnSleeper);
+    sup.start();
+
+    ASSERT_TRUE(eventually([&] { return sup.status()[0].pid > 0; }));
+    const pid_t first = sup.status()[0].pid;
+    ASSERT_EQ(::kill(first, SIGKILL), 0);
+
+    EXPECT_TRUE(eventually([&] {
+        const auto st = sup.status()[0];
+        return st.restarts >= 1 && st.pid > 0 && st.pid != first;
+    }));
+    EXPECT_GE(sup.restartCount(), 1u);
+    sup.shutdown(100);
+}
+
+TEST(SupervisorTest, FlapBreakerParksACrashLoopingWorker)
+{
+    TempDir socks("flap");
+    SupervisorOptions opts;
+    opts.workers = 1;
+    opts.socketDir = socks.path.string();
+    opts.probeIntervalMs = 1000000;
+    opts.restartBackoffMs = 1;
+    opts.restartBackoffMaxMs = 5;
+    opts.flapWindowMs = 60000; // instant deaths are always "rapid"
+    opts.flapThreshold = 3;
+    opts.coolOffMs = 3600 * 1000; // parked for the whole test
+    Supervisor sup(opts);
+    sup.setSpawnFnForTest(spawnCrasher);
+    sup.start();
+
+    EXPECT_TRUE(eventually([&] {
+        return sup.status()[0].state == WorkerState::Broken;
+    }));
+    const auto st = sup.status()[0];
+    EXPECT_GE(st.rapidDeaths, 3u);
+    EXPECT_FALSE(sup.inRotation("w0"));
+    // Parked means parked: the respawn counter stops climbing.
+    const u64 restarts = sup.restartCount();
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    EXPECT_EQ(sup.restartCount(), restarts);
+    sup.shutdown(100);
+}
+
+// ---------------------------------------------------------------------
+// Integration: real workers, real SIGKILLs, byte-identical answers
+// ---------------------------------------------------------------------
+
+TEST(FleetIntegration, SigkillingOwnersNeverFailsOrDriftsARequest)
+{
+    const std::string binary = locateServeBinary();
+    if (binary.empty())
+        GTEST_SKIP() << "mgx_serve binary not found near test";
+
+    TempDir socks("integ");
+    FleetOptions opts;
+    opts.supervisor.workers = 3;
+    opts.supervisor.socketDir = socks.path.string();
+    opts.supervisor.serveBinary = binary;
+    opts.supervisor.probeIntervalMs = 50;
+    opts.supervisor.restartBackoffMs = 50;
+    // No shared trace cache here on purpose: every run regenerates
+    // its trace, so any worker's answer is bitwise-reproducible
+    // against the local reference (a deserialized cached trace may
+    // legitimately differ in traceBytes; the chaos bench covers the
+    // shared-cache configuration).
+    opts.proxy.listen.unixPath = testSocketPath("integ-proxy");
+    opts.proxy.failoverPauseMs = 50;
+    Fleet fleet(opts);
+    fleet.start();
+    const serve::SocketAddress addr{opts.proxy.listen.unixPath,
+                                    "127.0.0.1", 0};
+
+    // The reference: exactly what mgx_run --no-pipeline --json emits
+    // for this grid.
+    const std::string reference =
+        sim::toJson(sim::Experiment()
+                        .workload("core/matmul")
+                        .schemes({protection::Scheme::NP,
+                                  protection::Scheme::BP})
+                        .threads(1)
+                        .pipelined(false)
+                        .run());
+    const std::string target =
+        "/run?workload=core%2Fmatmul&schemes=NP,BP";
+
+    // Sanity: a calm fleet answers byte-identically.
+    {
+        serve::HttpResponse resp;
+        std::string error;
+        ASSERT_TRUE(
+            serve::httpGet(addr, target, &resp, &error, 30000))
+            << error;
+        ASSERT_EQ(resp.status, 200) << resp.body;
+        ASSERT_EQ(resp.body, reference);
+    }
+
+    // Sustained load while a killer SIGKILLs the current owner of
+    // the in-flight cell. The proxy must absorb every crash: zero
+    // failed requests, zero drifted bodies.
+    const std::size_t owner = ownerIndex(3);
+    const std::string owner_name = "w" + std::to_string(owner);
+    std::atomic<bool> stop{false};
+    std::atomic<int> kills{0};
+    std::thread killer([&] {
+        while (!stop.load(std::memory_order_acquire)) {
+            for (const auto &st : fleet.supervisor().status()) {
+                if (st.name == owner_name && st.pid > 0 &&
+                    ::kill(st.pid, SIGKILL) == 0)
+                    kills.fetch_add(1);
+            }
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(300));
+        }
+    });
+
+    std::atomic<int> ok{0}, failed{0}, drifted{0};
+    std::vector<std::thread> clients;
+    for (int c = 0; c < 2; ++c) {
+        clients.emplace_back([&] {
+            const auto deadline = std::chrono::steady_clock::now() +
+                                  std::chrono::seconds(2);
+            serve::RetryOptions ropts;
+            ropts.retries = 3;
+            ropts.backoffMs = 50;
+            while (std::chrono::steady_clock::now() < deadline) {
+                serve::HttpResponse resp;
+                std::string error;
+                if (serve::httpGetRetry(addr, target, &resp, &error,
+                                        30000, ropts) &&
+                    resp.status == 200) {
+                    ok.fetch_add(1);
+                    if (resp.body != reference)
+                        drifted.fetch_add(1);
+                } else {
+                    failed.fetch_add(1);
+                }
+            }
+        });
+    }
+    for (auto &t : clients)
+        t.join();
+    stop.store(true, std::memory_order_release);
+    killer.join();
+
+    EXPECT_GT(ok.load(), 0);
+    EXPECT_GE(kills.load(), 1);
+    EXPECT_EQ(failed.load(), 0);
+    EXPECT_EQ(drifted.load(), 0);
+    EXPECT_GE(fleet.supervisor().restartCount(), 1u);
+
+    // Shutdown leaves nothing behind: no live workers, no sockets.
+    std::vector<pid_t> pids;
+    for (const auto &st : fleet.supervisor().status())
+        if (st.pid > 0)
+            pids.push_back(st.pid);
+    fleet.shutdown();
+    for (const pid_t pid : pids)
+        EXPECT_NE(::kill(pid, 0), 0) << "worker " << pid
+                                     << " survived shutdown";
+    for (const auto &entry : fs::directory_iterator(socks.path))
+        EXPECT_NE(entry.path().extension(), ".sock")
+            << entry.path();
+}
+
+} // namespace
+} // namespace mgx::fleet

@@ -19,6 +19,10 @@
 #include <thread>
 #include <vector>
 
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include "serve/client.h"
@@ -755,6 +759,192 @@ TEST(ClientRetry, ExhaustedBackpressureReturnsTheLastStatus)
     first.join();
     second.join();
     server.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Keep-alive and response framing
+// ---------------------------------------------------------------------
+
+TEST(HttpResponseParserTest, FramesByContentLengthWithoutEof)
+{
+    const std::string body = "{\"ok\": true}\n";
+    const std::string raw = httpResponse(200, "application/json",
+                                         body, {}, true);
+    HttpResponseParser p;
+    // Byte by byte: completion arrives exactly at Content-Length,
+    // with no EOF needed — that is what makes reuse possible.
+    for (std::size_t i = 0; i + 1 < raw.size(); ++i)
+        ASSERT_EQ(p.feed(&raw[i], 1),
+                  HttpResponseParser::Status::Incomplete)
+            << "byte " << i;
+    EXPECT_EQ(p.feed(&raw[raw.size() - 1], 1),
+              HttpResponseParser::Status::Complete);
+    EXPECT_EQ(p.response().status, 200);
+    EXPECT_EQ(p.response().body, body);
+    EXPECT_EQ(p.response().header("connection").value_or(""),
+              "keep-alive");
+}
+
+TEST(HttpResponseParserTest, EofMidBodyIsATruncationError)
+{
+    const std::string raw = "HTTP/1.1 200 OK\r\n"
+                            "Content-Length: 100\r\n\r\n"
+                            "only a few bytes";
+    HttpResponseParser p;
+    EXPECT_EQ(p.feed(raw.data(), raw.size()),
+              HttpResponseParser::Status::Incomplete);
+    EXPECT_TRUE(p.headersComplete());
+    EXPECT_EQ(p.finishEof(), HttpResponseParser::Status::Error);
+    EXPECT_NE(p.error().find("mid-response"), std::string::npos);
+}
+
+TEST(ServerTest, KeepAliveServesManyRequestsOnOneConnection)
+{
+    ServerOptions opts;
+    opts.listen.unixPath = testSocketPath("keepalive");
+    Server server(opts);
+    server.start();
+    const SocketAddress addr{opts.listen.unixPath, "127.0.0.1", 0};
+
+    ClientConnection conn(addr);
+    for (int i = 0; i < 3; ++i) {
+        HttpResponse resp;
+        std::string error;
+        ASSERT_TRUE(conn.get("/healthz", &resp, &error)) << error;
+        EXPECT_EQ(resp.status, 200);
+        EXPECT_EQ(conn.lastReused(), i > 0) << i;
+    }
+    const auto s = server.metricsSnapshot();
+    EXPECT_EQ(s.accepted, 1u);
+    EXPECT_EQ(s.served, 3u);
+    EXPECT_EQ(s.keepAliveReused, 2u);
+    server.shutdown();
+}
+
+TEST(ServerTest, KeepAliveOptOutClosesAfterEveryResponse)
+{
+    ServerOptions opts;
+    opts.listen.unixPath = testSocketPath("nokeepalive");
+    opts.keepAlive = false;
+    Server server(opts);
+    server.start();
+    const SocketAddress addr{opts.listen.unixPath, "127.0.0.1", 0};
+
+    // The client asks for keep-alive but the server declines; the
+    // connection object transparently reconnects, so requests still
+    // succeed — they just never ride a reused socket.
+    ClientConnection conn(addr);
+    for (int i = 0; i < 2; ++i) {
+        HttpResponse resp;
+        std::string error;
+        ASSERT_TRUE(conn.get("/healthz", &resp, &error)) << error;
+        EXPECT_EQ(resp.status, 200);
+        EXPECT_FALSE(conn.lastReused()) << i;
+    }
+    const auto s = server.metricsSnapshot();
+    EXPECT_EQ(s.accepted, 2u);
+    EXPECT_EQ(s.keepAliveReused, 0u);
+    server.shutdown();
+}
+
+/**
+ * A raw unix-socket listener that answers each accepted connection
+ * with the next scripted byte string (after reading a little of the
+ * request), then closes — the shape of a worker dying mid-response.
+ */
+class ScriptedServer
+{
+  public:
+    ScriptedServer(std::string path, std::vector<std::string> scripts)
+        : path_(std::move(path)), scripts_(std::move(scripts))
+    {
+        fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+        ::unlink(path_.c_str());
+        sockaddr_un sa{};
+        sa.sun_family = AF_UNIX;
+        std::strncpy(sa.sun_path, path_.c_str(),
+                     sizeof sa.sun_path - 1);
+        if (fd_ < 0 ||
+            ::bind(fd_, reinterpret_cast<sockaddr *>(&sa),
+                   sizeof sa) != 0 ||
+            ::listen(fd_, 8) != 0) {
+            ADD_FAILURE() << "ScriptedServer setup failed on "
+                          << path_;
+            return;
+        }
+        thread_ = std::thread([this] {
+            for (const std::string &script : scripts_) {
+                const int c = ::accept(fd_, nullptr, nullptr);
+                if (c < 0)
+                    return;
+                char buf[1024];
+                (void)::recv(c, buf, sizeof buf, 0);
+                if (!script.empty())
+                    (void)::send(c, script.data(), script.size(),
+                                 MSG_NOSIGNAL);
+                ::close(c);
+            }
+        });
+    }
+
+    ~ScriptedServer()
+    {
+        ::close(fd_);
+        if (thread_.joinable())
+            thread_.join();
+        ::unlink(path_.c_str());
+    }
+
+  private:
+    std::string path_;
+    std::vector<std::string> scripts_;
+    int fd_ = -1;
+    std::thread thread_;
+};
+
+TEST(ClientFailure, ResetAfterPartialResponseIsClassified)
+{
+    const std::string path = testSocketPath("partial");
+    ScriptedServer scripted(
+        path, {"HTTP/1.1 200 OK\r\nContent-Length: 64\r\n\r\nhalf"});
+    const SocketAddress addr{path, "127.0.0.1", 0};
+
+    HttpResponse resp;
+    std::string error;
+    GetFailure failure = GetFailure::None;
+    EXPECT_FALSE(httpGet(addr, "/stats", &resp, &error, 5000,
+                         &failure));
+    // Truncated-but-parseable must never surface as success: the
+    // classification is what lets callers know a retry is safe.
+    EXPECT_EQ(failure, GetFailure::PartialResponse);
+    EXPECT_NE(error.find("mid-response"), std::string::npos);
+}
+
+TEST(ClientFailure, PartialResponseIsRetriedToSuccess)
+{
+    const std::string good =
+        httpResponse(200, "application/json", "{\"ok\": true}\n");
+    const std::string path = testSocketPath("partial-retry");
+    ScriptedServer scripted(
+        path,
+        {"HTTP/1.1 200 OK\r\nContent-Length: 64\r\n\r\nhalf", good});
+    const SocketAddress addr{path, "127.0.0.1", 0};
+
+    RetryOptions retry;
+    retry.retries = 2;
+    retry.backoffMs = 1;
+    retry.seed = 7;
+    HttpResponse resp;
+    std::string error;
+    int attempts = 0;
+    RetryStats stats;
+    ASSERT_TRUE(httpGetRetry(addr, "/stats", &resp, &error, 5000,
+                             retry, &attempts, &stats))
+        << error;
+    EXPECT_EQ(resp.status, 200);
+    EXPECT_EQ(attempts, 2);
+    EXPECT_EQ(stats.attempts, 2u);
+    EXPECT_EQ(stats.partialResponses, 1u);
 }
 
 } // namespace
