@@ -26,7 +26,7 @@
  * JSON schema "mgx-bench-v1": {schema, bench, unit,
  *   calibration: {aesBlocksPerSecond, blocks, wallSeconds, checksum},
  *   results:[
- *   {workload, platform, scheme, mode (replay|stream|pipeline),
+ *   {workload, platform, scheme, mode (replay|stream|pipeline|shard),
  *    linesPerSecond, wallSeconds, replays, linesPerReplay,
  *    cyclesPerReplay, traceBytes, tracePhases}]}
  */
@@ -42,6 +42,7 @@
 #include "sim/experiment.h"
 #include "sim/pipeline.h"
 #include "sim/report.h"
+#include "sim/shard.h"
 #include "sim/workload_registry.h"
 
 namespace {
@@ -58,7 +59,9 @@ struct CellResult
      * Measurement axis: "replay" times the materialized hot path,
      * "stream" generates + replays serially per rep, "pipeline" runs
      * the same end-to-end stream with generation and replay on two
-     * threads over the SPSC phase ring (sim/pipeline.h).
+     * threads over the SPSC phase ring (sim/pipeline.h), "shard"
+     * replays each rep's stream channel-sharded over a width-4
+     * ShardPool (sim/shard.h).
      */
     const char *mode = "replay";
     double linesPerSecond = 0.0;
@@ -114,26 +117,32 @@ measureCalibration()
     return cal;
 }
 
+/** Which thread shape the streamed axis runs under. */
+enum class StreamAxis { Serial, Pipelined, Sharded };
+
 /**
  * Stream @p workload end to end (fresh kernel, pull-based replay, no
  * materialized trace) under @p scheme until the budget is spent — the
  * throughput of the streaming pipeline, generation included. With
- * @p pipelined, generation and replay run on two threads over the
- * SPSC phase ring instead of interleaving on one — same work, same
- * results (the self-check still compares cycle counts), different
- * wall clock on a multi-core host.
+ * StreamAxis::Pipelined, generation and replay run on two threads
+ * over the SPSC phase ring instead of interleaving on one; with
+ * StreamAxis::Sharded, replay is channel-sharded over a width-4
+ * ShardPool. Same work, same results either way (the self-check still
+ * compares cycle counts), different wall clock on a multi-core host.
  */
 CellResult
 measureStreamedCell(const std::string &workload,
                     const sim::Platform &platform,
                     protection::Scheme scheme, double min_seconds,
-                    bool pipelined = false)
+                    StreamAxis axis = StreamAxis::Serial)
 {
     CellResult cell;
     cell.workload = workload;
     cell.platform = platform.name;
     cell.scheme = scheme;
-    cell.mode = pipelined ? "pipeline" : "stream";
+    cell.mode = axis == StreamAxis::Pipelined ? "pipeline"
+                : axis == StreamAxis::Sharded ? "shard"
+                                              : "stream";
 
     protection::ProtectionConfig cfg;
     cfg.scheme = scheme;
@@ -148,9 +157,20 @@ measureStreamedCell(const std::string &workload,
         sim::PerfModel model(&engine, platform.clockMhz);
         auto kernel = sim::makeKernel(workload, platform);
         auto source = kernel->stream();
-        const sim::RunResult r = pipelined
-                                     ? sim::runPipelined(model, *source)
-                                     : model.run(*source);
+        sim::RunResult r;
+        switch (axis) {
+        case StreamAxis::Pipelined:
+            r = sim::runPipelined(model, *source);
+            break;
+        case StreamAxis::Sharded: {
+            sim::ShardPool shard(dram, 4);
+            r = model.run(*source, shard);
+            break;
+        }
+        case StreamAxis::Serial:
+            r = model.run(*source);
+            break;
+        }
         if (reps == 0) {
             cycles = r.totalCycles;
             lines = dram.accessCount();
@@ -274,9 +294,10 @@ usage(std::FILE *out)
         "usage: bench_perf_throughput [options]\n"
         "  --set micro|full    workload set (default micro)\n"
         "                      micro: the tiled-MatMul cells under\n"
-        "                             NP/MGX/BP on the replay, stream\n"
-        "                             and pipeline axes, plus genome\n"
-        "                             and video BP cells (the floor)\n"
+        "                             NP/MGX/BP on the replay, stream,\n"
+        "                             pipeline and shard axes, plus\n"
+        "                             genome and video BP cells (the\n"
+        "                             floor)\n"
         "                      full:  + dnn/resnet50 + graph/pokec\n"
         "  --min-seconds S     time budget per cell (default 0.5)\n"
         "  --json FILE         write the mgx-bench-v1 artifact\n"
@@ -291,6 +312,7 @@ struct WorkloadSpec
     std::vector<protection::Scheme> schemes;
     std::vector<protection::Scheme> streamedSchemes;
     std::vector<protection::Scheme> pipelinedSchemes;
+    std::vector<protection::Scheme> shardedSchemes;
 };
 
 /**
@@ -313,15 +335,18 @@ workloadSet(const std::string &set)
     // default mgx_run path, tracked next to the pure-replay numbers.
     // The pipeline axis repeats the streamed cells over the two-thread
     // phase ring, so stream-vs-pipeline is a direct wall-clock
-    // comparison of serial and pipelined single-cell replay.
+    // comparison of serial and pipelined single-cell replay; the
+    // shard axis repeats them with replay channel-sharded over a
+    // width-4 pool, the per-channel parallel path.
     std::vector<WorkloadSpec> specs = {
-        {"core/matmul?m=256&n=256&k=256", all, all, all},
-        {"genome/chr1PacBio?reads=2", bp, none, none},
-        {"video/h264?frames=2", bp, none, none},
+        {"core/matmul?m=256&n=256&k=256", all, all, all, all},
+        {"genome/chr1PacBio?reads=2", bp, none, none, none},
+        {"video/h264?frames=2", bp, none, none, none},
     };
     if (set == "full") {
-        specs.push_back({"dnn/resnet50?task=inference", all, none, none});
-        specs.push_back({"graph/pokec/pagerank", all, all, bp});
+        specs.push_back(
+            {"dnn/resnet50?task=inference", all, none, none, none});
+        specs.push_back({"graph/pokec/pagerank", all, all, bp, bp});
     }
     return specs;
 }
@@ -410,8 +435,15 @@ main(int argc, char **argv)
             printCell(cells.back());
         }
         for (protection::Scheme s : spec.pipelinedSchemes) {
-            cells.push_back(measureStreamedCell(w, platform, s,
-                                                min_seconds, true));
+            cells.push_back(
+                measureStreamedCell(w, platform, s, min_seconds,
+                                    StreamAxis::Pipelined));
+            printCell(cells.back());
+        }
+        for (protection::Scheme s : spec.shardedSchemes) {
+            cells.push_back(
+                measureStreamedCell(w, platform, s, min_seconds,
+                                    StreamAxis::Sharded));
             printCell(cells.back());
         }
     }

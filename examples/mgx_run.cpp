@@ -67,6 +67,16 @@ usage(std::FILE *out)
         "                         threads (producer + replay), so the\n"
         "                         pool runs floor(N/2) cells at once,\n"
         "                         and --threads 1 never pipelines\n"
+        "  --replay-threads N     channel-sharded replay: replay each\n"
+        "                         phase's per-DRAM-channel command\n"
+        "                         lanes on N threads (clamped to the\n"
+        "                         platform's channel count) and merge\n"
+        "                         deterministically — bitwise-identical\n"
+        "                         results for every N (only the shard\n"
+        "                         merge-wait counter varies). Composes\n"
+        "                         with --pipeline: such a cell budgets\n"
+        "                         1 + N threads against --threads.\n"
+        "                         Default 1 (serial replay)\n"
         "  --json FILE            write the mgx-resultset-v1 artifact\n"
         "  --quiet                suppress the table on stdout\n"
         "  --help                 this message\n"
@@ -121,6 +131,7 @@ main(int argc, char **argv)
     std::string trace_cache_dir;
     unsigned long long trace_cache_max_bytes = 0;
     unsigned threads = 0;
+    unsigned replay_threads = 1;
     bool quiet = false;
     bool materialize = false;
     int pipeline = -1; // -1 auto, 0 forced off, 1 forced on
@@ -179,6 +190,18 @@ main(int argc, char **argv)
                              v);
                 return usage(stderr);
             }
+        } else if (arg == "--replay-threads") {
+            const char *v = value();
+            char *end = nullptr;
+            replay_threads =
+                static_cast<unsigned>(std::strtoul(v, &end, 10));
+            if (end == v || *end != '\0' || replay_threads == 0) {
+                std::fprintf(stderr,
+                             "mgx_run: --replay-threads needs a "
+                             "positive number, got '%s'\n",
+                             v);
+                return usage(stderr);
+            }
         } else if (arg == "--json") {
             json_path = value();
         } else if (arg == "--trace-cache") {
@@ -226,9 +249,17 @@ main(int argc, char **argv)
         return usage(stderr);
     }
 
+    if (replay_threads > 1 && materialize) {
+        std::fprintf(stderr,
+                     "mgx_run: --replay-threads needs the streaming "
+                     "path (drop --materialize)\n");
+        return usage(stderr);
+    }
+
     sim::Experiment experiment;
     experiment.workloads(workloads)
         .threads(threads)
+        .replayThreads(replay_threads)
         .streaming(!materialize);
     if (pipeline != -1)
         experiment.pipelined(pipeline == 1);

@@ -4,21 +4,11 @@
 
 namespace mgx::dram {
 
-DramChannel::DramChannel(const Ddr4Config &cfg, StatGroup *stats)
+DramChannel::DramChannel(const Ddr4Config &cfg)
     : cfg_(cfg),
       banks_(static_cast<std::size_t>(cfg.banksPerRank) *
              cfg.ranksPerChannel)
 {
-    // Handles resolve once here; a null stats pointer leaves them as
-    // null sinks, so the hot path below never branches on stats.
-    if (stats != nullptr) {
-        statRowHits_ = stats->counter("row_hits");
-        statRowMisses_ = stats->counter("row_misses");
-        statRowConflicts_ = stats->counter("row_conflicts");
-        statReads_ = stats->counter("reads");
-        statWrites_ = stats->counter("writes");
-        statRefreshStalls_ = stats->counter("refresh_stall_cycles");
-    }
 }
 
 Cycles
@@ -32,7 +22,7 @@ DramChannel::refreshAdjust(Cycles t)
         refreshWinStart_ = t / cfg_.tREFI * cfg_.tREFI;
     const Cycles phase = t - refreshWinStart_;
     if (phase < cfg_.tRFC) {
-        statRefreshStalls_.add(cfg_.tRFC - phase);
+        counters_.refreshStallCycles += cfg_.tRFC - phase;
         return t + (cfg_.tRFC - phase);
     }
     return t;
@@ -72,7 +62,7 @@ DramChannel::access(const Coord &coord, bool is_write, Cycles arrival)
         const Cycles start = std::max(arrival, bank.readyAt);
         if (start >= refreshWinStart_ + cfg_.tRFC &&
             start - refreshWinStart_ < cfg_.tREFI) {
-            statRowHits_.add();
+            ++counters_.rowHits;
             const Cycles burst_start = std::max(
                 start + (is_write ? cfg_.tCWL : cfg_.tCL), busFreeAt_);
             const Cycles burst_end = burst_start + cfg_.burstCycles();
@@ -81,9 +71,9 @@ DramChannel::access(const Coord &coord, bool is_write, Cycles arrival)
             if (is_write) {
                 bank.readyAt =
                     std::max(bank.readyAt, burst_end + cfg_.tWR);
-                statWrites_.add();
+                ++counters_.writes;
             } else {
-                statReads_.add();
+                ++counters_.reads;
             }
             lastCompletion_ = std::max(lastCompletion_, burst_end);
             return burst_end;
@@ -95,17 +85,17 @@ DramChannel::access(const Coord &coord, bool is_write, Cycles arrival)
     Cycles column_cmd; // cycle the RD/WR command issues
     if (bank.openRow == coord.row) {
         // Row hit: column command can go immediately.
-        statRowHits_.add();
+        ++counters_.rowHits;
         column_cmd = start;
     } else {
         Cycles act_at;
         if (bank.openRow == BankState::kNoRow) {
             // Bank precharged: just activate.
-            statRowMisses_.add();
+            ++counters_.rowMisses;
             act_at = earliestActivate(start);
         } else {
             // Conflict: precharge (respecting tRAS), then activate.
-            statRowConflicts_.add();
+            ++counters_.rowConflicts;
             Cycles pre_at =
                 std::max(start, bank.activatedAt + cfg_.tRAS);
             act_at = earliestActivate(pre_at + cfg_.tRP);
@@ -134,7 +124,7 @@ DramChannel::access(const Coord &coord, bool is_write, Cycles arrival)
     if (is_write)
         bank.readyAt = std::max(bank.readyAt, burst_end + cfg_.tWR);
 
-    (is_write ? statWrites_ : statReads_).add();
+    ++(is_write ? counters_.writes : counters_.reads);
     lastCompletion_ = std::max(lastCompletion_, burst_end);
     return burst_end;
 }

@@ -9,12 +9,19 @@
  * state gives the open-page hit/miss/conflict behaviour that dominates
  * streaming-accelerator bandwidth.
  *
- * Hot-path notes: statistics bump through pre-resolved StatGroup
- * handles (no per-access map lookups), the refresh phase is derived
- * from a cached tREFI window (no per-access division in steady
- * state), and same-open-row same-direction bursts take a short fast
- * path that skips the activate/precharge state machine — all
+ * Hot-path notes: statistics bump plain channel-local integers (no
+ * per-access map lookups; DramSystem aggregates them into its
+ * StatGroup on read), the refresh phase is derived from a cached
+ * tREFI window (no per-access division in steady state), and
+ * same-open-row same-direction bursts take a short fast path that
+ * skips the activate/precharge state machine — all
  * cycle-bitwise-identical to the general path.
+ *
+ * A channel is entirely self-contained: banks, bus, activate windows,
+ * refresh phase, and counters are all channel-local, so distinct
+ * channels may be driven from distinct threads concurrently (the
+ * channel-sharded replay in sim/shard.h does exactly that). One
+ * channel must only ever be driven from one thread at a time.
  */
 
 #ifndef MGX_DRAM_DRAM_CHANNEL_H
@@ -22,11 +29,27 @@
 
 #include <vector>
 
-#include "common/stats.h"
 #include "ddr4_timing.h"
 #include "request.h"
 
 namespace mgx::dram {
+
+/**
+ * Channel-local event counters. Plain integers rather than StatGroup
+ * handles so concurrent shard workers never touch shared slots;
+ * DramSystem sums them into its named "dram" StatGroup on demand.
+ */
+struct ChannelCounters
+{
+    u64 rowHits = 0;
+    u64 rowMisses = 0;
+    u64 rowConflicts = 0;
+    u64 reads = 0;
+    u64 writes = 0;
+    u64 refreshStallCycles = 0;
+
+    u64 requests() const { return reads + writes; }
+};
 
 /** Per-bank row-buffer and availability state. */
 struct BankState
@@ -42,7 +65,7 @@ struct BankState
 class DramChannel
 {
   public:
-    DramChannel(const Ddr4Config &cfg, StatGroup *stats);
+    explicit DramChannel(const Ddr4Config &cfg);
 
     /**
      * Serve one column access.
@@ -55,6 +78,9 @@ class DramChannel
 
     /** Completion time of the latest burst seen so far. */
     Cycles lastCompletion() const { return lastCompletion_; }
+
+    /** Channel-local event counters (see ChannelCounters). */
+    const ChannelCounters &counters() const { return counters_; }
 
   private:
     /** Delay @p t past any refresh blackout it overlaps. */
@@ -77,12 +103,7 @@ class DramChannel
     /** Start of the tREFI window containing the last adjusted cycle. */
     Cycles refreshWinStart_ = 0;
 
-    StatGroup::Counter statRowHits_;
-    StatGroup::Counter statRowMisses_;
-    StatGroup::Counter statRowConflicts_;
-    StatGroup::Counter statReads_;
-    StatGroup::Counter statWrites_;
-    StatGroup::Counter statRefreshStalls_;
+    ChannelCounters counters_;
 };
 
 } // namespace mgx::dram

@@ -12,7 +12,7 @@ DramSystem::DramSystem(const Ddr4Config &cfg)
 {
     channels_.reserve(cfg_.channels);
     for (u32 c = 0; c < cfg_.channels; ++c)
-        channels_.push_back(std::make_unique<DramChannel>(cfg_, &stats_));
+        channels_.push_back(std::make_unique<DramChannel>(cfg_));
 }
 
 Cycles
@@ -20,6 +20,10 @@ DramSystem::access(const Request &req)
 {
     Coord coord = map_.decode(req.addr);
     ++accessCount_;
+    if (capture_ != nullptr) {
+        capture_->emit(coord, req.isWrite);
+        return req.arrival;
+    }
     return channels_[coord.channel]->access(coord, req.isWrite,
                                             req.arrival);
 }
@@ -35,6 +39,11 @@ DramSystem::accessRange(Addr addr, u64 bytes, bool is_write, Cycles arrival)
         (alignDown(addr + bytes - 1, block) - first) / block + 1;
     AddressMap::LineWalker walker = map_.walkerAt(first);
     accessCount_ += blocks;
+    if (capture_ != nullptr) {
+        for (u64 i = 0; i < blocks; ++i, walker.next())
+            capture_->emit(walker.coord(), is_write);
+        return arrival;
+    }
     Cycles done = arrival;
     for (u64 i = 0; i < blocks; ++i, walker.next()) {
         const Coord &coord = walker.coord();
@@ -89,6 +98,10 @@ DramSystem::accessBatch(std::span<const Request> reqs)
         slots[0].prev = line;
         ++accessCount_;
         const Coord &coord = slots[0].walker.coord();
+        if (capture_ != nullptr) {
+            capture_->emit(coord, req.isWrite);
+            continue;
+        }
         const Cycles c = channels_[coord.channel]->access(
             coord, req.isWrite, req.arrival);
         done = std::max(done, c);
@@ -103,6 +116,28 @@ DramSystem::lastCompletion() const
     for (const auto &ch : channels_)
         t = std::max(t, ch->lastCompletion());
     return t;
+}
+
+const StatGroup &
+DramSystem::stats() const
+{
+    ChannelCounters sum;
+    for (const auto &ch : channels_) {
+        const ChannelCounters &c = ch->counters();
+        sum.rowHits += c.rowHits;
+        sum.rowMisses += c.rowMisses;
+        sum.rowConflicts += c.rowConflicts;
+        sum.reads += c.reads;
+        sum.writes += c.writes;
+        sum.refreshStallCycles += c.refreshStallCycles;
+    }
+    stats_.set("row_hits", sum.rowHits);
+    stats_.set("row_misses", sum.rowMisses);
+    stats_.set("row_conflicts", sum.rowConflicts);
+    stats_.set("reads", sum.reads);
+    stats_.set("writes", sum.writes);
+    stats_.set("refresh_stall_cycles", sum.refreshStallCycles);
+    return stats_;
 }
 
 } // namespace mgx::dram

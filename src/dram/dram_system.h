@@ -5,6 +5,15 @@
  * times and aggregate statistics. Contiguous ranges decode
  * incrementally through AddressMap::LineWalker instead of re-deriving
  * every line's coordinates.
+ *
+ * Channel-sharded replay seam: while a CaptureBuffer is attached
+ * (beginCapture), every entry point decodes exactly as it would when
+ * timing inline, but appends the pre-decoded request to the buffer's
+ * per-channel lane and returns without touching channel state. The
+ * captured lanes preserve each channel's serial command order, and a
+ * channel's timing depends only on its own ordered stream — so
+ * replaying each lane later (possibly on its own thread, see
+ * sim/shard.h) reproduces the serial completion times bit for bit.
  */
 
 #ifndef MGX_DRAM_DRAM_SYSTEM_H
@@ -21,6 +30,79 @@
 #include "request.h"
 
 namespace mgx::dram {
+
+/** One pre-decoded request captured for deferred (sharded) replay. */
+struct CapturedRequest
+{
+    Coord coord;
+    bool isWrite = false;
+    /**
+     * Completion feeds the crypto-latency merge group: the request
+     * belongs to a read access whose engine completion gets the AES
+     * pipeline latency added (see ProtectionEngine::access). The
+     * merge adds that constant to the max over this group instead of
+     * per access — identical because every access in a phase shares
+     * one arrival cycle.
+     */
+    bool crypto = false;
+};
+
+/**
+ * Per-channel pre-decoded request lanes for one replay step (a phase's
+ * traffic, or the end-of-run flush batch). Reused across steps:
+ * reset() keeps lane capacity, so a steady-state phase captures
+ * without allocating. All requests in a buffer share one arrival
+ * cycle — the perf model issues every access of a phase at the same
+ * mem_free edge.
+ */
+class CaptureBuffer
+{
+  public:
+    /** Clear all lanes for a new step arriving at @p arrival. */
+    void
+    reset(u32 channels, Cycles arrival)
+    {
+        if (lanes_.size() != channels)
+            lanes_.resize(channels);
+        for (auto &lane : lanes_)
+            lane.clear();
+        arrival_ = arrival;
+        crypto_ = false;
+        total_ = 0;
+    }
+
+    /** Tag subsequently captured requests as crypto-group members. */
+    void setCryptoTag(bool on) { crypto_ = on; }
+
+    /** Arrival cycle shared by every captured request. */
+    Cycles arrival() const { return arrival_; }
+
+    u32 channels() const { return static_cast<u32>(lanes_.size()); }
+
+    /** Channel @p c's captured stream, in serial command order. */
+    std::span<const CapturedRequest>
+    lane(u32 c) const
+    {
+        return {lanes_[c].data(), lanes_[c].size()};
+    }
+
+    /** Requests captured across all lanes this step. */
+    u64 totalRequests() const { return total_; }
+
+    /** Append one decoded request to its channel's lane. */
+    void
+    emit(const Coord &coord, bool is_write)
+    {
+        lanes_[coord.channel].push_back({coord, is_write, crypto_});
+        ++total_;
+    }
+
+  private:
+    std::vector<std::vector<CapturedRequest>> lanes_;
+    Cycles arrival_ = 0;
+    bool crypto_ = false;
+    u64 total_ = 0;
+};
 
 /** The full off-chip memory system seen by the protection engine. */
 class DramSystem
@@ -43,6 +125,10 @@ class DramSystem
     accessCoord(const Coord &coord, bool is_write, Cycles arrival)
     {
         ++accessCount_;
+        if (capture_ != nullptr) {
+            capture_->emit(coord, is_write);
+            return arrival;
+        }
         return channels_[coord.channel]->access(coord, is_write,
                                                 arrival);
     }
@@ -66,15 +152,41 @@ class DramSystem
      */
     Cycles accessBatch(std::span<const Request> reqs);
 
+    /**
+     * Divert all entry points into @p buf: decode (and bump
+     * accessCount) exactly as inline timing would, but append to the
+     * buffer's lanes and return the arrival cycle unchanged. The
+     * caller replays the lanes later against the channels (see
+     * sim/shard.h) and must endCapture() first.
+     */
+    void beginCapture(CaptureBuffer *buf) { capture_ = buf; }
+
+    /** Resume inline timing. */
+    void endCapture() { capture_ = nullptr; }
+
+    bool capturing() const { return capture_ != nullptr; }
+
+    /** Channel @p c, for shard workers replaying captured lanes. */
+    DramChannel &channel(u32 c) { return *channels_[c]; }
+
+    u32
+    channelCount() const
+    {
+        return static_cast<u32>(channels_.size());
+    }
+
     /** Completion time of the latest burst across all channels. */
     Cycles lastCompletion() const;
 
     /** Number of block accesses served so far. */
     u64 accessCount() const { return accessCount_; }
 
-    /** Aggregate statistics (row hits, misses, refresh stalls, ...). */
-    const StatGroup &stats() const { return stats_; }
-    StatGroup &stats() { return stats_; }
+    /**
+     * Aggregate statistics (row hits, misses, refresh stalls, ...).
+     * Channels count events locally (so shard workers never share
+     * slots); the named group is synced from them on each call.
+     */
+    const StatGroup &stats() const;
 
     /** Block (column access) size in bytes. */
     u32 blockBytes() const { return map_.blockBytes(); }
@@ -87,9 +199,11 @@ class DramSystem
   private:
     Ddr4Config cfg_;
     AddressMap map_;
-    StatGroup stats_;
+    /** Synced from the channels' local counters on stats() reads. */
+    mutable StatGroup stats_;
     std::vector<std::unique_ptr<DramChannel>> channels_;
     u64 accessCount_ = 0;
+    CaptureBuffer *capture_ = nullptr;
 };
 
 } // namespace mgx::dram

@@ -78,6 +78,7 @@ struct WorkerStatus
     pid_t pid = -1; ///< -1 while not running
     WorkerState state = WorkerState::Starting;
     bool inRotation = false;
+    bool cacheDegraded = false; ///< from the last /healthz body
     u64 restarts = 0;    ///< respawns after the initial spawn
     u64 rapidDeaths = 0; ///< current flap streak
     u64 probeFailures = 0;
@@ -112,6 +113,7 @@ class Supervisor : public BackendDirectory
     serve::SocketAddress address(
         const std::string &name) const override;
     bool inRotation(const std::string &name) const override;
+    bool cacheDegraded(const std::string &name) const override;
     std::string statusJson() const override;
 
     std::vector<WorkerStatus> status() const;
@@ -133,6 +135,7 @@ class Supervisor : public BackendDirectory
         pid_t pid = -1;
         WorkerState state = WorkerState::Starting;
         bool healthy = false; ///< passing probes (=> in rotation)
+        bool cacheDegraded = false; ///< last /healthz body said so
         u64 restarts = 0;
         u64 rapidDeaths = 0;
         u64 probeFailures = 0;   ///< lifetime count (stats)

@@ -15,6 +15,7 @@ ServeMetrics::snapshot() const
     s.badRequests = badRequests.load(std::memory_order_relaxed);
     s.dedupCollapsed = dedupCollapsed.load(std::memory_order_relaxed);
     s.cellsRun = cellsRun.load(std::memory_order_relaxed);
+    s.resultMemoHits = resultMemoHits.load(std::memory_order_relaxed);
     s.traceCacheHits = traceCacheHits.load(std::memory_order_relaxed);
     s.traceCacheMisses =
         traceCacheMisses.load(std::memory_order_relaxed);
@@ -43,6 +44,7 @@ statsJson(const ServeMetrics::Snapshot &s)
         << ",\n  \"badRequests\": " << s.badRequests
         << ",\n  \"dedupCollapsed\": " << s.dedupCollapsed
         << ",\n  \"cellsRun\": " << s.cellsRun
+        << ",\n  \"resultMemoHits\": " << s.resultMemoHits
         << ",\n  \"traceCache\": {\"hits\": " << s.traceCacheHits
         << ", \"misses\": " << s.traceCacheMisses << "}"
         << ",\n  \"inFlight\": " << s.inFlight

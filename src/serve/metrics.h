@@ -29,6 +29,7 @@ class ServeMetrics
         u64 badRequests = 0;    ///< 4xx other than queue rejections
         u64 dedupCollapsed = 0; ///< cell requests served as followers
         u64 cellsRun = 0;       ///< cells actually simulated (leaders)
+        u64 resultMemoHits = 0; ///< cells answered from the result memo
         u64 traceCacheHits = 0;
         u64 traceCacheMisses = 0;
         u64 inFlight = 0;       ///< requests being handled right now
@@ -48,6 +49,7 @@ class ServeMetrics
     std::atomic<u64> badRequests{0};
     std::atomic<u64> dedupCollapsed{0};
     std::atomic<u64> cellsRun{0};
+    std::atomic<u64> resultMemoHits{0};
     std::atomic<u64> traceCacheHits{0};
     std::atomic<u64> traceCacheMisses{0};
     std::atomic<u64> inFlight{0};

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 
 #include <arpa/inet.h>
@@ -107,8 +108,46 @@ CellKey::key() const
            protection::schemeName(scheme);
 }
 
+std::optional<sim::RunRecord>
+ResultMemo::get(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it == entries_.end())
+        return std::nullopt;
+    order_.splice(order_.begin(), order_, it->second.order);
+    return it->second.record;
+}
+
+void
+ResultMemo::put(const std::string &key, const sim::RunRecord &record)
+{
+    if (capacity_ == 0)
+        return;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+        // A follower re-inserting the leader's result: refresh only.
+        order_.splice(order_.begin(), order_, it->second.order);
+        return;
+    }
+    while (entries_.size() >= capacity_) {
+        entries_.erase(order_.back());
+        order_.pop_back();
+    }
+    order_.push_front(key);
+    entries_.emplace(key, Entry{order_.begin(), record});
+}
+
+std::size_t
+ResultMemo::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+}
+
 Server::Server(ServerOptions opts)
-    : opts_(std::move(opts))
+    : opts_(std::move(opts)), memo_(opts_.resultMemoCapacity)
 {
     if (opts_.workers == 0)
         opts_.workers = 1;
@@ -136,8 +175,9 @@ Server::start()
         return;
 
     if (!runner_) {
-        runner_ = [this](const CellKey &cell) {
-            return runCellWithEngine(cell);
+        runner_ = [this](const CellKey &cell,
+                         const RunBudget &budget) {
+            return runCellWithEngine(cell, budget);
         };
     }
 
@@ -247,7 +287,10 @@ Server::metricsSnapshot() const
 void
 Server::setCellRunnerForTest(CellRunner runner)
 {
-    runner_ = std::move(runner);
+    runner_ = [runner = std::move(runner)](const CellKey &cell,
+                                           const RunBudget &) {
+        return runner(cell);
+    };
 }
 
 void
@@ -573,6 +616,31 @@ Server::handleRun(const HttpRequest &req, int *status_out)
     if (schemes.empty())
         schemes = sim::allSchemes();
 
+    // Per-request replay budget: how each cell executes, never what
+    // it answers (diagnostics are scrubbed; see runCellWithEngine).
+    // The effective thread cost is clamped under maxRequestThreads by
+    // the Experiment budget machinery, so an oversized ask degrades
+    // to whatever the operator allowed instead of failing.
+    RunBudget budget;
+    if (auto p = req.queryValue("pipeline")) {
+        if (*p == "1")
+            budget.pipelined = true;
+        else if (*p != "0") {
+            *status_out = 400;
+            return jsonError("pipeline= must be 0 or 1");
+        }
+    }
+    if (auto r = req.queryValue("replayThreads")) {
+        char *end = nullptr;
+        const unsigned long n = std::strtoul(r->c_str(), &end, 10);
+        if (r->empty() || end == nullptr || *end != '\0' || n == 0) {
+            *status_out = 400;
+            return jsonError(
+                "replayThreads= must be a positive integer");
+        }
+        budget.replayThreads = static_cast<u32>(n);
+    }
+
     // One wall-clock budget for the whole request, not per cell: the
     // client asked one question, so the question has one deadline.
     const bool deadlined = opts_.requestDeadlineMs > 0;
@@ -592,13 +660,23 @@ Server::handleRun(const HttpRequest &req, int *status_out)
         for (const auto &platform : cell_platforms) {
             for (protection::Scheme scheme : schemes) {
                 CellKey cell{w, platform, scheme};
+                // Warm repeat: the memo'd record is bitwise what a
+                // re-run would produce, so skip the engine entirely.
+                // The memo key is budget-free — results don't depend
+                // on the replay mode.
+                if (auto memo = memo_.get(cell.key())) {
+                    metrics_.resultMemoHits.fetch_add(
+                        1, std::memory_order_relaxed);
+                    rs.add(std::move(*memo));
+                    continue;
+                }
                 // The cell (not &: runFor's leader lambda outlives
                 // this frame when the deadline expires first).
-                const auto body = [this,
-                                   cell]() -> CellOutcome {
+                const auto body = [this, cell,
+                                   budget]() -> CellOutcome {
                     metrics_.cellsRun.fetch_add(
                         1, std::memory_order_relaxed);
-                    return runner_(cell);
+                    return runner_(cell, budget);
                 };
                 SingleFlight<CellOutcome>::Outcome outcome;
                 if (deadlined) {
@@ -632,6 +710,7 @@ Server::handleRun(const HttpRequest &req, int *status_out)
                     metrics_.dedupCollapsed.fetch_add(
                         1, std::memory_order_relaxed);
                 rs.add(outcome.value->record);
+                memo_.put(cell.key(), outcome.value->record);
                 hits += outcome.value->cacheHits;
                 misses += outcome.value->cacheMisses;
             }
@@ -693,19 +772,23 @@ Server::noteCacheHealth(bool degraded)
 }
 
 CellOutcome
-Server::runCellWithEngine(const CellKey &cell)
+Server::runCellWithEngine(const CellKey &cell, const RunBudget &budget)
 {
-    // One cell, serial and unpipelined: cheap next to the simulation
-    // itself, and it keeps every model output bitwise-identical to
-    // `mgx_run --no-pipeline` for the same grid (pipeline stall
-    // counters are scheduling-dependent; everything else is
-    // deterministic).
+    // One cell per run. The request's replay budget selects the
+    // execution mode under the operator's thread cap — the Experiment
+    // budget machinery clamps an oversized ask rather than
+    // oversubscribing. Model outputs are bitwise-identical across
+    // modes (see sim/shard.h), and the scheduling-dependent
+    // pipeline/shard diagnostics are scrubbed below, so the response
+    // body stays byte-identical to `mgx_run --no-pipeline --json`
+    // whatever the client asked for.
     sim::Experiment experiment;
     experiment.workload(cell.workload)
         .platform(cell.platform)
         .schemes({cell.scheme})
-        .threads(1)
-        .pipelined(false);
+        .threads(std::max(1u, opts_.maxRequestThreads))
+        .pipelined(budget.pipelined)
+        .replayThreads(budget.replayThreads);
     const bool with_cache = cacheUsableNow();
     if (with_cache) {
         experiment.traceCacheDir(opts_.traceCacheDir);
@@ -720,8 +803,19 @@ Server::runCellWithEngine(const CellKey &cell)
     // health; bypassing cells would otherwise "recover" it blindly.
     if (with_cache)
         noteCacheHealth(rs.cacheDegraded());
-    return CellOutcome{rs.records()[0], rs.traceCacheHits(),
-                       rs.traceCacheMisses()};
+    CellOutcome out{rs.records()[0], rs.traceCacheHits(),
+                    rs.traceCacheMisses()};
+    // Scrub the replay-mode diagnostics: they are the only fields
+    // that vary with the budget (or with scheduling), and removing
+    // them keeps responses — and the memo — byte-identical across
+    // modes.
+    out.record.result.pipelineProducerWaits = 0;
+    out.record.result.pipelineConsumerWaits = 0;
+    out.record.result.pipelineMaxOccupancy = 0;
+    out.record.result.shardReplayThreads = 0;
+    out.record.result.shardMergeWaits = 0;
+    out.record.result.shardChannels.clear();
+    return out;
 }
 
 void

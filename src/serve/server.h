@@ -31,6 +31,11 @@
  *               the acceptor answers 429 immediately instead of
  *               letting latency grow unboundedly (explicit
  *               back-pressure; clients retry or go run mgx_run).
+ *   memo        A bounded in-memory LRU of finished cell results
+ *               keyed like the singleflight: a warm repeat skips the
+ *               engine entirely (metrics.resultMemoHits). Safe
+ *               because cell results are deterministic — the memo'd
+ *               record is bitwise what a re-run would produce.
  *   coalescing  Each grid cell runs under a SingleFlight keyed by
  *               workload|platform|scheme: concurrent requests that
  *               resolve to the same cell cost one engine run, the
@@ -38,6 +43,17 @@
  *   cache       Cells share the on-disk trace cache; the per-key
  *               flock (sim::TraceCacheLock) extends "generate once"
  *               across processes sharing the directory.
+ *
+ * Per-request replay budgets: /run accepts `pipeline=0|1` and
+ * `replayThreads=N` to pipeline and/or channel-shard each cell's
+ * replay. The daemon-side cap ServerOptions::maxRequestThreads is the
+ * Experiment thread budget each cell runs under, so a request can
+ * never make a cell cost more threads than the operator allowed —
+ * oversized asks clamp (the Experiment budget machinery), they do not
+ * fail. Response bodies stay byte-identical to `mgx_run --no-pipeline
+ * --json` for every mode: the scheduling-dependent pipeline/shard
+ * diagnostics are scrubbed before serialization, which also keeps the
+ * memo and singleflight keys budget-free.
  *
  * Graceful shutdown: stop accepting, drain the queued and in-flight
  * requests, join every thread. Connections arriving while draining
@@ -52,9 +68,11 @@
 #include <condition_variable>
 #include <deque>
 #include <functional>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -98,6 +116,20 @@ struct ServerOptions
     /// request — bounds both idle FDs and how long a worker thread
     /// can be parked on one peer.
     int keepAliveIdleMs = 2000;
+    /// Finished-cell results memoized in memory (LRU, keyed like the
+    /// singleflight); 0 disables the memo.
+    std::size_t resultMemoCapacity = 64;
+    /// Experiment thread budget per cell — the ceiling a request's
+    /// pipeline=/replayThreads= ask is clamped under. 1 (default)
+    /// keeps every cell serial regardless of what clients request.
+    u32 maxRequestThreads = 1;
+};
+
+/** What a /run request asked for a cell's replay execution. */
+struct RunBudget
+{
+    bool pipelined = false;
+    u32 replayThreads = 1;
 };
 
 /** One grid cell: the unit of deduplication. */
@@ -121,9 +153,44 @@ struct CellOutcome
 
 /**
  * How a cell is simulated; injectable so tests can substitute a
- * deterministic (or deliberately blocking) runner.
+ * deterministic (or deliberately blocking) runner. The injected form
+ * ignores the request's replay budget — tests run synthetic cells.
  */
 using CellRunner = std::function<CellOutcome(const CellKey &)>;
+
+/**
+ * Bounded LRU memo of finished cell records, shared by every worker.
+ * Hits return a copy; the stored record is never mutated, so a memo'd
+ * answer is bitwise the answer a fresh engine run would give (cell
+ * results are deterministic by construction — see sim/shard.h for why
+ * that holds across replay modes).
+ */
+class ResultMemo
+{
+  public:
+    explicit ResultMemo(std::size_t capacity) : capacity_(capacity) {}
+
+    /** The memo'd record for @p key, refreshing its recency. */
+    std::optional<sim::RunRecord> get(const std::string &key);
+
+    /** Memoize @p record under @p key, evicting the LRU entry at
+     *  capacity. Idempotent for concurrent followers of one flight. */
+    void put(const std::string &key, const sim::RunRecord &record);
+
+    std::size_t size() const;
+
+  private:
+    struct Entry
+    {
+        std::list<std::string>::iterator order;
+        sim::RunRecord record;
+    };
+
+    mutable std::mutex mu_;
+    std::size_t capacity_;
+    std::list<std::string> order_; ///< front = most recently used
+    std::map<std::string, Entry> entries_;
+};
 
 class Server
 {
@@ -167,6 +234,9 @@ class Server
     /** The per-cell flight table (tests observe waiters()). */
     SingleFlight<CellOutcome> &cellFlights() { return flights_; }
 
+    /** The finished-cell memo (tests observe size()). */
+    ResultMemo &resultMemo() { return memo_; }
+
   private:
     void acceptLoop();
     void workerLoop();
@@ -180,7 +250,8 @@ class Server
     bool serveOneRequest(int fd, std::string *carry, bool first);
     std::string handleRequest(const HttpRequest &req, int *status_out);
     std::string handleRun(const HttpRequest &req, int *status_out);
-    CellOutcome runCellWithEngine(const CellKey &cell);
+    CellOutcome runCellWithEngine(const CellKey &cell,
+                                  const RunBudget &budget);
     bool validateWorkload(const std::string &name, std::string *error);
     void sendAll(int fd, const std::string &data) const;
     /// Fold one run's cache health into the degraded state: a
@@ -194,7 +265,11 @@ class Server
     ServerOptions opts_;
     ServeMetrics metrics_;
     SingleFlight<CellOutcome> flights_;
-    CellRunner runner_; ///< set in start(); engine-backed by default
+    ResultMemo memo_; ///< capacity from opts_ (ctor init order)
+    /// Engine-backed by default (honors the request budget); test
+    /// runners installed via setCellRunnerForTest ignore the budget.
+    std::function<CellOutcome(const CellKey &, const RunBudget &)>
+        runner_;
 
     int listenFd_ = -1;
     u16 boundPort_ = 0;

@@ -11,6 +11,7 @@
 
 #include "common/log.h"
 #include "pipeline.h"
+#include "shard.h"
 #include "trace_io.h"
 #include "workload_registry.h"
 
@@ -340,6 +341,13 @@ Experiment::pipelineRingCapacity(std::size_t phases)
     return *this;
 }
 
+Experiment &
+Experiment::replayThreads(u32 n)
+{
+    replayThreads_ = n;
+    return *this;
+}
+
 u64
 enforceTraceCacheLimit(const std::string &dir, u64 max_bytes)
 {
@@ -502,8 +510,17 @@ Experiment::run() const
     const bool pipelined =
         streaming_ && budget >= 2 &&
         (pipelined_.has_value() ? *pipelined_ : cells.size() == 1);
-    const u32 replayWorkers =
-        pipelined ? std::max(1u, budget / 2) : budget;
+    // Channel-sharded replay width per streamed cell (sim/shard.h),
+    // clamped so one cell's thread cost — the replay pool plus a
+    // producer when pipelined — never exceeds the budget. The cell
+    // pool shrinks by the same cost, keeping `threads` a true cap.
+    const u32 shardWidth =
+        streaming_ ? std::min(std::max(1u, replayThreads_),
+                              std::max(1u, pipelined ? budget - 1
+                                                     : budget))
+                   : 1u;
+    const u32 cellCost = (pipelined ? 1u : 0u) + shardWidth;
+    const u32 replayWorkers = std::max(1u, budget / cellCost);
 
     // A cache-missing trace consumed by exactly one pipelined cell
     // skips phase 1: the cell's producer thread tees phases into the
@@ -675,11 +692,20 @@ Experiment::run() const
             cfg.scheme = cell.scheme;
             protection::ProtectionEngine engine(cfg, &dram);
             PerfModel model(&engine, cell.platform.clockMhz);
+            // The pool lives for the whole replay (all phases plus
+            // the final flush share its workers) and dies with the
+            // attempt's DramSystem: a retry on fresh state gets a
+            // fresh pool.
+            std::optional<ShardPool> shard;
+            if (shardWidth >= 2)
+                shard.emplace(dram, shardWidth);
             if (!pipelined)
-                return model.run(source);
+                return shard ? model.run(source, *shard)
+                             : model.run(source);
             PipelineOptions options;
             options.ringCapacity = pipelineRingCapacity_;
             options.tee = tee;
+            options.shard = shard ? &*shard : nullptr;
             return runPipelined(model, source, options);
         };
         if (job.explicitTrace != nullptr) {

@@ -258,6 +258,22 @@ class Experiment
      */
     Experiment &pipelineRingCapacity(std::size_t phases);
 
+    /**
+     * Channel-sharded replay width per streamed cell (see
+     * sim/shard.h): n >= 2 replays each phase's per-channel DRAM
+     * lanes on a persistent pool of n threads (clamped to the
+     * platform's channel count) with a deterministic merge pass —
+     * bitwise-identical to serial replay on every field except the
+     * RunResult::shard* diagnostics, for every n. 0 or 1 (default)
+     * replays serially. Composes with pipelined(): such a cell
+     * budgets 1 + n threads against threads(), and the pool size
+     * shrinks so the cap stays true; a budget too small for the
+     * requested width clamps the width rather than oversubscribing.
+     * Requires streaming(); materialized and explicit-trace cells
+     * always replay serially.
+     */
+    Experiment &replayThreads(u32 n);
+
     /** Expand the grid, simulate every cell, return the results. */
     ResultSet run() const;
 
@@ -279,6 +295,7 @@ class Experiment
     bool streaming_ = true;
     std::optional<bool> pipelined_; ///< unset = automatic (see pipelined())
     std::size_t pipelineRingCapacity_ = 8;
+    u32 replayThreads_ = 1;
 };
 
 /**

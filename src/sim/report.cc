@@ -137,6 +137,22 @@ writeJson(const ResultSet &rs, std::ostream &out)
             << ", \"consumerWaits\": " << r.result.pipelineConsumerWaits
             << ", \"maxOccupancy\": " << r.result.pipelineMaxOccupancy
             << "},\n"
+            // Channel-shard diagnostics: replayThreads/channels are
+            // deterministic for a given width (channels even across
+            // widths); mergeWaits is scheduling-dependent like the
+            // pipeline counters. Empty/zero on serial replays.
+            << "     \"shard\": {\"replayThreads\": "
+            << r.result.shardReplayThreads
+            << ", \"mergeWaits\": " << r.result.shardMergeWaits
+            << ", \"channels\": [";
+        for (std::size_t c = 0; c < r.result.shardChannels.size();
+             ++c) {
+            const ShardChannelLoad &load = r.result.shardChannels[c];
+            out << (c == 0 ? "" : ", ")
+                << "{\"requests\": " << load.requests
+                << ", \"busyCycles\": " << load.busyCycles << "}";
+        }
+        out << "]},\n"
             << "     \"traffic\": {\"data\": " << t.dataBytes
             << ", \"expand\": " << t.expandBytes
             << ", \"mac\": " << t.macBytes << ", \"vn\": " << t.vnBytes

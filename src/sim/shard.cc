@@ -1,0 +1,126 @@
+#include "shard.h"
+
+#include <algorithm>
+
+namespace mgx::sim {
+
+ShardPool::ShardPool(dram::DramSystem &dram, u32 threads)
+    : dram_(dram),
+      width_(std::clamp(threads, 1u, std::max(1u, dram.channelCount()))),
+      loads_(dram.channelCount()), results_(dram.channelCount())
+{
+    workers_.reserve(width_ - 1);
+    for (u32 p = 1; p < width_; ++p)
+        workers_.emplace_back([this, p] { workerLoop(p); });
+}
+
+ShardPool::~ShardPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    startCv_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void
+ShardPool::replayLanes(u32 p)
+{
+    const dram::CaptureBuffer &buf = *buf_;
+    const Cycles issue = issue_;
+    for (u32 c = p; c < buf.channels(); c += width_) {
+        LaneResult r;
+        dram::DramChannel &channel = dram_.channel(c);
+        for (const dram::CapturedRequest &req : buf.lane(c)) {
+            const Cycles t =
+                channel.access(req.coord, req.isWrite, issue);
+            Cycles &group = req.crypto ? r.cryptoMax : r.plainMax;
+            group = std::max(group, t);
+        }
+        results_[c] = r;
+    }
+}
+
+void
+ShardPool::workerLoop(u32 p)
+{
+    u64 seen = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            startCv_.wait(lock, [this, seen] {
+                return stop_ || generation_ != seen;
+            });
+            if (stop_)
+                return;
+            seen = generation_;
+        }
+        // buf_/issue_ were written before generation_ was bumped under
+        // mu_, so the wait above orders them; results_ writes below are
+        // ordered before the caller's read by the pending_ handshake.
+        replayLanes(p);
+        bool last = false;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            last = --pending_ == 0;
+        }
+        if (last)
+            doneCv_.notify_one();
+    }
+}
+
+Cycles
+ShardPool::replay(const dram::CaptureBuffer &buf, Cycles issue,
+                  Cycles crypto_latency)
+{
+    const u32 channels = buf.channels();
+    if (width_ > 1) {
+        std::lock_guard<std::mutex> lock(mu_);
+        buf_ = &buf;
+        issue_ = issue;
+        pending_ = width_ - 1;
+        ++generation_;
+    }
+    if (width_ > 1)
+        startCv_.notify_all();
+    else {
+        buf_ = &buf;
+        issue_ = issue;
+    }
+
+    // The calling thread is participant 0.
+    replayLanes(0);
+
+    if (width_ > 1) {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (pending_ != 0) {
+            ++mergeWaits_;
+            doneCv_.wait(lock, [this] { return pending_ == 0; });
+        }
+    }
+
+    // Merge: data_ready is the max over channel completions, with the
+    // constant AES latency folded onto the crypto group (see file
+    // header of shard.h). Channel iteration order is fixed, and max
+    // and += are insensitive to which thread produced each lane, so
+    // the merge is deterministic for every pool width.
+    Cycles ready = issue;
+    Cycles crypto_max = 0;
+    for (u32 c = 0; c < channels; ++c) {
+        if (buf.lane(c).empty())
+            continue;
+        const LaneResult &r = results_[c];
+        ready = std::max(ready, r.plainMax);
+        crypto_max = std::max(crypto_max, r.cryptoMax);
+        const Cycles last = std::max(r.plainMax, r.cryptoMax);
+        loads_[c].requests += buf.lane(c).size();
+        loads_[c].busyCycles += last > issue ? last - issue : 0;
+    }
+    if (crypto_max != 0)
+        ready = std::max(ready, crypto_max + crypto_latency);
+    return ready;
+}
+
+} // namespace mgx::sim

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Channel-sharded replay: the DRAM half of one cell's per-phase step
+ * spread over worker threads, one stream per DRAM channel.
+ *
+ * Why this is bitwise-identical to serial replay. Within a phase every
+ * access arrives at the same issue cycle (the perf model's mem_free
+ * edge), so the engine expansion never depends on DRAM completion
+ * times — only on access order, which the capture pass preserves
+ * exactly (it runs the unchanged ProtectionEngine code over the
+ * unchanged DramSystem entry points, merely diverting the decoded
+ * requests into per-channel lanes instead of timing them inline).
+ * Each DramChannel's timing state (banks, bus, activate windows,
+ * refresh) is entirely channel-local and evolves only with its own
+ * ordered request stream, so replaying each lane in order — on any
+ * thread — reproduces the serial per-request completions bit for bit,
+ * and the phase's data_ready is their max:
+ *
+ *   data_ready = max(issue, max_plain, max_crypto + cryptoLatency)
+ *
+ * where max_crypto ranges over requests of read accesses under a
+ * protected scheme (the engine adds the constant AES latency once per
+ * such access after maxing its own requests; with a shared arrival
+ * the per-access and per-group foldings are equal, because every
+ * non-empty access issues at least one request).
+ *
+ * Determinism across thread counts: lanes are partitioned statically
+ * (channel c belongs to participant c % width), each lane replays on
+ * exactly one thread, and max/sum merges are order-insensitive — so
+ * results are identical for any pool width, and per-channel loads are
+ * identical even *across* widths. Only ShardPool::mergeWaits depends
+ * on scheduling.
+ */
+
+#ifndef MGX_SIM_SHARD_H
+#define MGX_SIM_SHARD_H
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "dram/dram_system.h"
+#include "perf_model.h"
+
+namespace mgx::sim {
+
+/**
+ * A persistent pool of replay workers bound to one DramSystem's
+ * channels, reused across all phases (and the final flush) of one
+ * cell. Participant 0 is the calling thread itself, so a pool of
+ * width W costs W threads total while a replay step is in flight —
+ * width 1 replays inline with no background thread at all (the
+ * capture/merge machinery still runs, which is what the equivalence
+ * tests exercise).
+ *
+ * The calling thread must not touch the DramSystem between
+ * beginning a replay() and its return.
+ */
+class ShardPool
+{
+  public:
+    /**
+     * @param dram    the system whose channels the lanes replay into
+     * @param threads requested width; clamped to [1, channelCount]
+     */
+    ShardPool(dram::DramSystem &dram, u32 threads);
+
+    /** Joins all workers; must not be called mid-replay. */
+    ~ShardPool();
+
+    ShardPool(const ShardPool &) = delete;
+    ShardPool &operator=(const ShardPool &) = delete;
+
+    /**
+     * Replay @p buf's lanes against the channels and merge: returns
+     * max(issue, plain completions, crypto completions +
+     * @p crypto_latency), never less than @p issue. Also folds this
+     * step into the per-channel load counters.
+     */
+    Cycles replay(const dram::CaptureBuffer &buf, Cycles issue,
+                  Cycles crypto_latency);
+
+    /** Actual pool width: min(requested, channels), >= 1. */
+    u32 width() const { return width_; }
+
+    /**
+     * How often the merge barrier found a worker still replaying and
+     * had to block. Scheduling-dependent; diagnostics only.
+     */
+    u64 mergeWaits() const { return mergeWaits_; }
+
+    /** Per-channel cumulative load (deterministic; see file header). */
+    const std::vector<ShardChannelLoad> &
+    channelLoads() const
+    {
+        return loads_;
+    }
+
+  private:
+    /** One lane's replay outcome for the current step. */
+    struct LaneResult
+    {
+        Cycles plainMax = 0;
+        Cycles cryptoMax = 0;
+    };
+
+    /** Replay the lanes participant @p p owns (channels p, p+W, ...). */
+    void replayLanes(u32 p);
+
+    void workerLoop(u32 p);
+
+    dram::DramSystem &dram_;
+    u32 width_ = 1;
+    std::vector<ShardChannelLoad> loads_;
+    std::vector<LaneResult> results_; ///< per channel, disjoint writers
+
+    // Current step, published under mu_ by bumping generation_.
+    const dram::CaptureBuffer *buf_ = nullptr;
+    Cycles issue_ = 0;
+
+    std::mutex mu_;
+    std::condition_variable startCv_; ///< workers wait for a new step
+    std::condition_variable doneCv_;  ///< caller waits for pending_ == 0
+    u64 generation_ = 0;
+    u32 pending_ = 0;
+    bool stop_ = false;
+    u64 mergeWaits_ = 0;
+
+    std::vector<std::thread> workers_; ///< participants 1..width-1
+};
+
+} // namespace mgx::sim
+
+#endif // MGX_SIM_SHARD_H

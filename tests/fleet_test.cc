@@ -347,6 +347,52 @@ TEST(ProxyTest, OutOfRotationOwnerIsSkippedWithoutAFailover)
     proxy.shutdown();
 }
 
+TEST(ProxyTest, CacheDegradedOwnerIsDemotedBelowHealthyPeers)
+{
+    MiniFleet mini(3, "degraded");
+    const std::size_t owner = ownerIndex(3);
+    // The owner's trace cache went degraded: it still answers
+    // correctly, but it re-generates traces, so routing should
+    // prefer any healthy peer over it.
+    mini.dir.setCacheDegraded("w" + std::to_string(owner), true);
+
+    ProxyOptions popts;
+    popts.listen.unixPath = testSocketPath("degraded-proxy");
+    Proxy proxy(popts, &mini.dir);
+    proxy.start();
+    const serve::SocketAddress addr{popts.listen.unixPath,
+                                    "127.0.0.1", 0};
+
+    serve::HttpResponse resp;
+    std::string error;
+    ASSERT_TRUE(serve::httpGet(addr, kTarget, &resp, &error)) << error;
+    ASSERT_EQ(resp.status, 200) << resp.body;
+
+    // Demoted, not skipped-and-failed-over: the first attempt went
+    // straight to a healthy peer.
+    EXPECT_EQ(mini.runs[owner]->load(), 0u);
+    EXPECT_EQ(proxy.metrics().failovers.load(), 0u);
+
+    // The degraded worker outranks out-of-rotation ones: with every
+    // peer out of rotation it is the first (and successful) attempt.
+    for (std::size_t i = 0; i < mini.runs.size(); ++i)
+        if (i != owner)
+            mini.dir.setInRotation("w" + std::to_string(i), false);
+    const u64 failovers_before = proxy.metrics().failovers.load();
+    ASSERT_TRUE(serve::httpGet(addr, kTarget, &resp, &error)) << error;
+    ASSERT_EQ(resp.status, 200) << resp.body;
+    EXPECT_GT(mini.runs[owner]->load(), 0u);
+    EXPECT_EQ(proxy.metrics().failovers.load(), failovers_before);
+
+    // Degradation is visible in the aggregated fleet stats.
+    serve::HttpResponse stats;
+    ASSERT_TRUE(serve::httpGet(addr, "/stats", &stats, &error))
+        << error;
+    EXPECT_NE(stats.body.find("\"cacheDegraded\": true"),
+              std::string::npos);
+    proxy.shutdown();
+}
+
 TEST(ProxyTest, StatsAggregateProxyCountersAndWorkerDocuments)
 {
     MiniFleet mini(2, "stats");
